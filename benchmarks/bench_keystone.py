@@ -1,0 +1,59 @@
+"""E7 -- §7: Keystone findings.
+
+Paper: two interface findings (enclave-in-enclave creation violating a
+proved safety property; page-table checks redundant given PMP) and two
+undefined-behaviour bugs (oversized shift, buffer overflow) "both on
+the paths of three monitor calls", all confirmed and fixed.
+"""
+
+from conftest import banner, emit, run_once
+from repro.keystone import (
+    KEYSTONE_BUG_IDS,
+    prove_enclave_independence,
+    prove_pmp_sufficient,
+    scan_for_ub,
+)
+
+RESULTS = {}
+
+
+def _interface():
+    fixed = prove_enclave_independence(allow_nested_create=False)
+    flawed = prove_enclave_independence(allow_nested_create=True)
+    pmp = prove_pmp_sufficient()
+    assert fixed.proved and not flawed.proved and pmp.proved
+    return {
+        "independence (fixed spec)": fixed.proved,
+        "independence (nested create)": flawed.proved,
+        "pmp alone isolates": pmp.proved,
+    }
+
+
+def test_interface_analysis(benchmark):
+    RESULTS["interface"] = run_once(benchmark, _interface)
+
+
+def _ub_scan():
+    buggy = scan_for_ub(set(KEYSTONE_BUG_IDS))
+    fixed = scan_for_ub()
+    assert fixed == []
+    return buggy
+
+
+def test_ub_scan(benchmark):
+    findings = run_once(benchmark, _ub_scan)
+    RESULTS["ub"] = findings
+    functions = {f.function for f in findings}
+    assert len(functions) == 3  # both bugs on all three call paths
+    assert any("oversized" in f.message for f in findings)
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    banner("§7: Keystone")
+    for name, value in RESULTS.get("interface", {}).items():
+        emit(f"  {name:<32} {value}")
+    emit("  UB findings (buggy build):")
+    for f in RESULTS.get("ub", []):
+        emit(f"    {f.function}: {f.message}")
+    emit("  UB findings (fixed build): none")

@@ -1,0 +1,55 @@
+"""E9 -- §3.2: symbolic profiling finds the fetch bottleneck.
+
+Paper: "the top two functions suggested by the profiler are execute
+within interpret and vector-ref within fetch ... one can conclude that
+this function explodes under symbolic evaluation due to a symbolic
+pc"; after split-pc, "vector-ref disappears from the profiler's
+output".
+"""
+
+from conftest import banner, emit, run_once
+from repro.core import EngineOptions, run_interpreter
+from repro.core.errors import EngineFuelExhausted
+from repro.sym import new_context, profile
+from repro.toyrisc import ToyCpu, ToyRISC, sign_program
+
+RESULTS = {}
+
+
+def _profile(split_pc: bool):
+    with profile() as prof:
+        with new_context():
+            cpu = ToyCpu.symbolic(32)
+            try:
+                run_interpreter(
+                    ToyRISC(sign_program()), cpu,
+                    EngineOptions(split_pc=split_pc, fuel=3 if not split_pc else 1000,
+                                  max_union=2000),
+                )
+            except EngineFuelExhausted:
+                pass
+    return prof
+
+
+def test_profile_without_split_pc(benchmark):
+    prof = run_once(benchmark, _profile, False)
+    ranking = [s.name for s in prof.ranking()]
+    RESULTS["without split-pc"] = prof
+    # fetch/execute dominate, and fetch creates instruction unions.
+    assert ranking[0] in ("toyrisc.execute", "toyrisc.fetch", "engine.step")
+    assert prof.regions["toyrisc.fetch"].max_union > 0 or prof.regions["toyrisc.execute"].merges > 0
+
+
+def test_profile_with_split_pc(benchmark):
+    prof = run_once(benchmark, _profile, True)
+    RESULTS["with split-pc"] = prof
+    # the union blow-up disappears from fetch.
+    assert prof.regions["toyrisc.fetch"].max_union == 0
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    banner("§3.2: symbolic profiler output")
+    for name, prof in RESULTS.items():
+        emit(f"-- {name}")
+        emit(prof.report(top=4))

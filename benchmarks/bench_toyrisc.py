@@ -1,0 +1,65 @@
+"""E1 -- Figures 3/5: the ToyRISC worked example.
+
+Measures symbolic evaluation and the refinement/NI proofs of the sign
+program, plus the no-split-pc blow-up of Figure 5's discussion.
+"""
+
+import pytest
+
+from conftest import banner, emit, run_once
+from repro.core import EngineOptions, run_interpreter
+from repro.core.errors import EngineFuelExhausted, UnconstrainedPc
+from repro.sym import new_context
+from repro.toyrisc import ToyCpu, ToyRISC, prove_sign_refinement, sign_program, step_consistency_holds
+
+RESULTS = {}
+
+
+def _symbolic_run():
+    with new_context():
+        cpu = ToyCpu.symbolic(32)
+        paths = run_interpreter(ToyRISC(sign_program()), cpu)
+        return len(paths.finals), paths.steps
+
+
+def test_symbolic_evaluation(benchmark):
+    finals, steps = run_once(benchmark, _symbolic_run)
+    RESULTS["evaluation"] = f"{finals} merged final state(s), {steps} steps"
+    assert steps <= 8  # merging keeps it linear in program size
+
+
+@pytest.mark.parametrize("width", [32, 64])
+def test_refinement(benchmark, width):
+    result = run_once(benchmark, prove_sign_refinement, width)
+    assert result.proved
+    RESULTS[f"refinement w{width}"] = "proved"
+
+
+def test_step_consistency(benchmark):
+    result = run_once(benchmark, step_consistency_holds, 32)
+    assert result.proved
+    RESULTS["step consistency"] = "proved"
+
+
+def _no_split_pc():
+    with new_context():
+        cpu = ToyCpu.symbolic(32)
+        try:
+            run_interpreter(
+                ToyRISC(sign_program()), cpu,
+                EngineOptions(split_pc=False, fuel=5, max_union=2000),
+            )
+            return "completed"
+        except (EngineFuelExhausted, UnconstrainedPc) as exc:
+            return f"blow-up: {type(exc).__name__}"
+
+
+def test_no_split_pc(benchmark):
+    RESULTS["without split-pc"] = run_once(benchmark, _no_split_pc)
+
+
+def test_zz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    banner("ToyRISC (Figures 3/5)")
+    for name, value in RESULTS.items():
+        emit(f"  {name:<22} {value}")

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures (see
+DESIGN.md's experiment index).  Long-running verification benches run
+once per measurement (``rounds=1``); set ``REPRO_FULL=1`` to run the
+complete Figure 11 grid instead of the representative subset.
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL") == "1"
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure a single execution (verification runs are expensive and
+    deterministic; repeated rounds only re-prove the same theorem)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+_REPORT_PATH = os.path.join(os.path.dirname(__file__), "..", "bench_report.txt")
+
+
+def emit(line: str) -> None:
+    """Print (visible with ``pytest -s``) and append to bench_report.txt
+    (always, since pytest captures stdout by default)."""
+    print(line)
+    with open(_REPORT_PATH, "a") as handle:
+        handle.write(line + "\n")
+
+
+def banner(title: str) -> None:
+    emit(f"\n===== {title} =====")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Find the Linux BPF JIT bugs with the checker (§7).
+
+Runs the per-instruction equivalence checker over each of the 15
+cataloged historical bug variants (9 RISC-V, 6 x86-32), printing the
+counterexample the verification produces — the raw material for the
+regression tests the kernel patches added.  Then verifies the fixed
+JITs clean over the same witnesses.
+
+Run:  python examples/bpf_jit_bugs.py
+"""
+
+import time
+
+from repro.bpf_jit import (
+    RV_BUGS,
+    X86_BUGS,
+    RvJit,
+    X86Jit,
+    check_rv_insn,
+    check_x86_insn,
+)
+
+
+def main() -> None:
+    found = 0
+    print("== hunting the 9 RISC-V JIT bugs")
+    for bug in RV_BUGS:
+        start = time.perf_counter()
+        result = check_rv_insn(bug.witness, RvJit(bugs={bug.id}))
+        assert not result.ok, bug.id
+        found += 1
+        print(f"   [{found:2}] {bug.id:<22} on {bug.witness!r}")
+        print(f"        {bug.description[:70]}...")
+        print(f"        counterexample: {str(result.counterexample)[:90]}  "
+              f"({time.perf_counter() - start:.1f}s)")
+
+    print("\n== hunting the 6 x86-32 JIT bugs")
+    for bug in X86_BUGS:
+        result = check_x86_insn(bug.witness, X86Jit(bugs={bug.id}))
+        assert not result.ok, bug.id
+        found += 1
+        print(f"   [{found:2}] {bug.id:<22} on {bug.witness!r}")
+
+    print(f"\n{found} bugs found via verification (paper: 15)")
+
+    print("\n== the fixed JITs verify clean on every witness")
+    for bug in RV_BUGS:
+        assert check_rv_insn(bug.witness, RvJit()).ok, bug.id
+    for bug in X86_BUGS:
+        assert check_x86_insn(bug.witness, X86Jit()).ok, bug.id
+    print("   all witnesses pass with the fixes applied")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""CertiKOS^s: verify a security monitor from its binary image (§6.2).
+
+Builds the monitor with the mini-C compiler, disassembles-and-
+validates it with the RISC-V verifier, proves lock-step refinement for
+every monitor call, and demonstrates the PID covert channel the
+Nickel-style NI specification caught in the original spawn design.
+
+Run:  python examples/certikos_demo.py   (takes a few minutes)
+"""
+
+import time
+
+from repro.certikos import CertikosVerifier
+from repro.certikos.ni import (
+    prove_small_step_properties,
+    prove_spawn_targets_owned_child,
+)
+
+
+def main() -> None:
+    verifier = CertikosVerifier(opt=1)
+    print(f"monitor image: {len(verifier.image.words)} instructions at O1")
+
+    print("\n== binary-level refinement, one proof per monitor call")
+    for op in ("get_quota", "yield", "spawn", "invalid"):
+        start = time.perf_counter()
+        result = verifier.prove_op(op)
+        status = "proved" if result.proved else f"FAILED: {result.describe()}"
+        print(f"   {op:<10} {status}  ({time.perf_counter() - start:.1f}s)")
+
+    print("\n== the three small-step noninterference properties (§6.2)")
+    for name, result in prove_small_step_properties().items():
+        print(f"   {name:<18} {'proved' if result.proved else 'FAILED'}")
+
+    print("\n== the PID covert channel (§6.2)")
+    fixed = prove_spawn_targets_owned_child(implicit=False)
+    print(f"   explicit-PID spawn flow-deterministic: {fixed.proved}")
+    leaky = prove_spawn_targets_owned_child(implicit=True)
+    print(f"   implicit-PID spawn flow-deterministic: {leaky.proved}")
+    if not leaky.proved:
+        print(f"   counterexample (the covert channel): {leaky.counterexample!r}"[:200])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Komodo^s: verify the enclave monitor from its binary (§6.3).
+
+Proves refinement for the enclave lifecycle calls (including the
+InitL3PTable call added for RISC-V three-level paging), then the
+Nickel-style noninterference properties and the litmus tests the paper
+uses to compare NI specifications.
+
+Run:  python examples/komodo_demo.py   (takes a few minutes)
+"""
+
+import time
+
+from repro.komodo import (
+    KomodoVerifier,
+    exit_declassifies,
+    prove_host_cannot_read_enclave,
+    prove_removed_enclave_unobservable,
+)
+
+
+def main() -> None:
+    verifier = KomodoVerifier(opt=1)
+    print(f"monitor image: {len(verifier.image.words)} instructions at O1")
+
+    print("\n== binary-level refinement")
+    for op in ("init_addrspace", "init_l3ptable", "map_secure", "enter", "exit", "stop", "remove"):
+        start = time.perf_counter()
+        result = verifier.prove_op(op)
+        status = "proved" if result.proved else f"FAILED: {result.describe()}"
+        print(f"   {op:<16} {status}  ({time.perf_counter() - start:.1f}s)")
+
+    print("\n== noninterference over the spec (Nickel-style, §6.3)")
+    r = prove_host_cannot_read_enclave()
+    print(f"   host view closed under management calls: {r.proved}")
+    r = prove_removed_enclave_unobservable()
+    print(f"   removed enclave's memory unobservable:   {r.proved}")
+    print(f"   exit declassifies the exit value:        {exit_declassifies()} "
+          "(intentional, per Komodo)")
+
+
+if __name__ == "__main__":
+    main()

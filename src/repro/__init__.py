@@ -1,0 +1,18 @@
+"""repro: a Python reproduction of Serval (SOSP 2019).
+
+Layers, bottom-up (paper Figure 1):
+
+  repro.smt     -- SMT solver substitute (CDCL SAT + bit-blasting)
+  repro.sym     -- Rosette substitute (symbolic evaluation, profiling,
+                   reflection)
+  repro.core    -- the Serval framework (spec library, symbolic
+                   optimizations, systems-code support)
+  repro.toyrisc / repro.riscv / repro.x86 / repro.llvm / repro.bpf
+                -- automated verifiers built by lifting interpreters
+  repro.cc      -- mini-C compiler + assembler toolchain (gcc/binutils
+                   substitute)
+  repro.certikos / repro.komodo / repro.keystone / repro.bpf_jit
+                -- verified systems and bug-finding case studies
+"""
+
+__version__ = "0.1.0"

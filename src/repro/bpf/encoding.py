@@ -1,0 +1,82 @@
+"""The kernel's 8-byte eBPF instruction encoding.
+
+``struct bpf_insn`` layout (little-endian):
+
+    u8  opcode;       // class | source | op
+    u8  dst_reg:4, src_reg:4;
+    s16 off;
+    s32 imm;
+
+The JIT checker operates on decoded instructions; this module gives
+the verifier a validated path from raw program bytes (as a loader
+would pass them to the kernel) to :class:`BpfInsn`, with the same
+encode-and-compare validation discipline as the RISC-V decoder (§3.4).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from .insn import (
+    ALU_OPS,
+    CLASS_ALU,
+    CLASS_ALU64,
+    CLASS_JMP,
+    CLASS_JMP32,
+    JMP_OPS,
+    BpfInsn,
+)
+
+__all__ = ["encode", "decode", "decode_validated", "encode_program", "decode_program", "BpfDecodeError"]
+
+_KNOWN_CLASSES = {CLASS_ALU, CLASS_ALU64, CLASS_JMP, CLASS_JMP32}
+
+
+class BpfDecodeError(Exception):
+    pass
+
+
+def encode(insn: BpfInsn) -> bytes:
+    """Encode one instruction into its 8 bytes."""
+    opcode = insn.klass | insn.op | (0x08 if insn.src_is_reg else 0x00)
+    if not 0 <= insn.dst < 16 or not 0 <= insn.src < 16:
+        raise BpfDecodeError(f"register out of range in {insn!r}")
+    regs = (insn.src << 4) | insn.dst
+    return struct.pack("<BBhi", opcode, regs, insn.off, insn.imm)
+
+
+def decode(raw: bytes) -> BpfInsn:
+    """Decode 8 bytes into an instruction."""
+    if len(raw) != 8:
+        raise BpfDecodeError(f"instruction must be 8 bytes, got {len(raw)}")
+    opcode, regs, off, imm = struct.unpack("<BBhi", raw)
+    klass = opcode & 0x07
+    if klass not in _KNOWN_CLASSES:
+        raise BpfDecodeError(f"unsupported class {klass:#x}")
+    src_is_reg = bool(opcode & 0x08)
+    op = opcode & 0xF0
+    table = ALU_OPS if klass in (CLASS_ALU, CLASS_ALU64) else JMP_OPS
+    if op not in table.values():
+        raise BpfDecodeError(f"unknown op {op:#x} for class {klass:#x}")
+    return BpfInsn(klass, op, src_is_reg, regs & 0x0F, regs >> 4, off=off, imm=imm)
+
+
+def decode_validated(raw: bytes) -> BpfInsn:
+    """Decode and validate by re-encoding (§3.4's validation trick)."""
+    insn = decode(raw)
+    reencoded = encode(insn)
+    if reencoded != raw:
+        raise BpfDecodeError(
+            f"decoder validation failed: {raw.hex()} -> {insn!r} -> {reencoded.hex()}"
+        )
+    return insn
+
+
+def encode_program(insns: list[BpfInsn]) -> bytes:
+    return b"".join(encode(i) for i in insns)
+
+
+def decode_program(raw: bytes) -> list[BpfInsn]:
+    if len(raw) % 8:
+        raise BpfDecodeError("program length must be a multiple of 8")
+    return [decode_validated(raw[i : i + 8]) for i in range(0, len(raw), 8)]

@@ -1,0 +1,17 @@
+"""BPF JIT-compiler checking (§7): JIT translations, the equivalence
+checker, and the 15-bug catalog."""
+
+from .bugs import ALL_BUGS, RV_BUGS, X86_BUGS, JitBug
+from .checker import (
+    BOUNDARY_IMMS,
+    CheckResult,
+    check_rv_insn,
+    check_x86_insn,
+    rv_alu_test_insns,
+    sweep,
+    x86_alu_test_insns,
+)
+from .rv_jit import BPF2RV, RvJit
+from .x86_jit import X86Jit, slot_hi, slot_lo
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,140 @@
+"""Catalog of the 15 Linux BPF JIT bugs (§7).
+
+"Using the checker, we found a total of 15 bugs in the Linux JIT
+implementations: 9 for RISC-V and 6 for x86-32.  These bugs are
+caused by emitting incorrect instructions for handling zero
+extensions or bit shifts."
+
+Each entry reproduces one historical bug *class* as a switchable
+variant of our JIT translations, together with a witness instruction
+on which the checker produces a counterexample.  The fixed JITs
+(no bugs enabled) verify clean over the same battery — mirroring the
+patches accepted into the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bpf.insn import BpfInsn, alu, jmp
+
+__all__ = ["JitBug", "RV_BUGS", "X86_BUGS", "ALL_BUGS"]
+
+
+@dataclass(frozen=True)
+class JitBug:
+    id: str
+    target: str  # "riscv" | "x86-32"
+    description: str
+    witness: BpfInsn  # an instruction on which the bug is observable
+
+
+RV_BUGS = [
+    JitBug(
+        "alu32-add-no-zext",
+        "riscv",
+        "ALU32 ADD emits addw but omits the zero-extension of the result "
+        "(addw sign-extends bit 31 into the upper word)",
+        alu("add", 1, ("r", 2), alu64=False),
+    ),
+    JitBug(
+        "alu32-sub-no-zext",
+        "riscv",
+        "ALU32 SUB emits subw without zero-extending the result",
+        alu("sub", 1, ("r", 2), alu64=False),
+    ),
+    JitBug(
+        "alu32-logic-no-zext",
+        "riscv",
+        "ALU32 AND/OR/XOR operate on the full 64-bit registers and keep "
+        "whatever upper bits the operands had",
+        alu("xor", 1, ("r", 2), alu64=False),
+    ),
+    JitBug(
+        "alu32-mov-sext",
+        "riscv",
+        "ALU32 MOV emits addiw, sign-extending instead of zero-extending",
+        alu("mov", 1, ("r", 2), alu64=False),
+    ),
+    JitBug(
+        "alu32-shift-64",
+        "riscv",
+        "ALU32 LSH/RSH emit 64-bit shifts: the shift amount is masked to "
+        "6 bits and bits cross the 32-bit boundary",
+        alu("rsh", 1, ("r", 2), alu64=False),
+    ),
+    JitBug(
+        "alu32-arsh-no-w",
+        "riscv",
+        "ALU32 ARSH emits sra instead of sraw, using bit 63 rather than "
+        "bit 31 as the sign",
+        alu("arsh", 1, ("r", 2), alu64=False),
+    ),
+    JitBug(
+        "alu32-neg-no-zext",
+        "riscv",
+        "ALU32 NEG emits a 64-bit negate with no truncation or extension",
+        alu("neg", 1, 0, alu64=False),
+    ),
+    JitBug(
+        "alu64-shift-imm-w",
+        "riscv",
+        "ALU64 shift-by-immediate emits the W-form shift, truncating the "
+        "64-bit operand to 32 bits",
+        alu("lsh", 1, 7, alu64=True),
+    ),
+    JitBug(
+        "jmp32-no-zext",
+        "riscv",
+        "JMP32 comparisons compare the full 64-bit registers instead of "
+        "the low 32 bits",
+        jmp("jlt", 1, ("r", 2), off=3, jmp32=True),
+    ),
+]
+
+X86_BUGS = [
+    JitBug(
+        "lsh64-imm-ge32",
+        "x86-32",
+        "64-bit LSH by immediate >= 32 moves the low word up but fails "
+        "to zero the low word",
+        alu("lsh", 1, 40, alu64=True),
+    ),
+    JitBug(
+        "rsh64-imm-ge32",
+        "x86-32",
+        "64-bit RSH by immediate >= 32 moves the high word down but "
+        "fails to zero the high word",
+        alu("rsh", 1, 40, alu64=True),
+    ),
+    JitBug(
+        "arsh64-imm-ge32",
+        "x86-32",
+        "64-bit ARSH by immediate >= 32 fills the high word with zeros "
+        "instead of the sign",
+        alu("arsh", 1, 40, alu64=True),
+    ),
+    JitBug(
+        "lsh64-imm-32-boundary",
+        "x86-32",
+        "64-bit LSH treats an immediate of exactly 32 via the < 32 path "
+        "(x86 shifts mask their count to 5 bits, so shl by 32 is a no-op)",
+        alu("lsh", 1, 32, alu64=True),
+    ),
+    JitBug(
+        "alu32-no-hi-clear",
+        "x86-32",
+        "ALU32 operations store the 32-bit result without clearing the "
+        "high word of the destination pair",
+        alu("add", 1, ("r", 2), alu64=False),
+    ),
+    JitBug(
+        "mov32-imm-no-hi-clear",
+        "x86-32",
+        "ALU32 MOV with an immediate leaves the destination's high word "
+        "unchanged",
+        alu("mov", 1, 5, alu64=False),
+    ),
+]
+
+ALL_BUGS = RV_BUGS + X86_BUGS

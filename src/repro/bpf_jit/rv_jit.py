@@ -1,0 +1,228 @@
+"""The Linux RISC-V (RV64) BPF JIT, translated to Python (§7).
+
+"As the JIT compilers in the Linux kernel are written in C, we
+manually translated them into Rosette" — here, into Python emitting
+our ``repro.riscv`` instructions.  The translation covers the ALU and
+ALU64 arithmetic/logic instructions plus JMP32 comparisons, i.e. the
+code paths where the paper's 9 RISC-V JIT bugs live.
+
+``RvJit(bugs={...})`` re-introduces historical bug classes (incorrect
+zero-extension and shift handling); the default is the *fixed* JIT.
+See ``bugs.py`` for the catalog.
+"""
+
+from __future__ import annotations
+
+from ..bpf.insn import CLASS_ALU, CLASS_ALU64, CLASS_JMP32, BpfInsn
+from ..riscv.insn import Insn
+
+__all__ = ["RvJit", "BPF2RV", "TMP1", "TMP2"]
+
+# BPF register -> RISC-V register (mirrors the kernel's map: arguments
+# in a-registers, callee-saved for the rest, a5 for R0).
+BPF2RV = {
+    0: 15,  # a5
+    1: 10,  # a0
+    2: 11,  # a1
+    3: 12,  # a2
+    4: 13,  # a3
+    5: 14,  # a4
+    6: 9,   # s1
+    7: 18,  # s2
+    8: 19,  # s3
+    9: 20,  # s4
+    10: 21, # s5 (frame pointer)
+}
+TMP1 = 6  # t1
+TMP2 = 7  # t2
+
+
+class JitError(Exception):
+    pass
+
+
+class RvJit:
+    """Per-instruction translator, one BPF insn -> list of RV insns."""
+
+    def __init__(self, bugs: set[str] | frozenset[str] = frozenset()):
+        self.bugs = set(bugs)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _emit_imm(self, reg: int, imm: int) -> list[Insn]:
+        """Load a sign-extended 32-bit immediate (lui+addi(w) shape)."""
+        if -2048 <= imm <= 2047:
+            return [Insn("addi", rd=reg, rs1=0, imm=imm)]
+        low = imm & 0xFFF
+        if low >= 0x800:
+            low -= 0x1000
+        high = (imm - low) & 0xFFFFFFFF
+        out = [Insn("lui", rd=reg, imm=high)]
+        if low:
+            out.append(Insn("addiw", rd=reg, rs1=reg, imm=low))
+        return out
+
+    def _zext32(self, reg: int) -> list[Insn]:
+        """Zero the upper 32 bits (the fix for most of the 9 bugs)."""
+        return [
+            Insn("slli", rd=reg, rs1=reg, imm=32),
+            Insn("srli", rd=reg, rs1=reg, imm=32),
+        ]
+
+    # -- translation -----------------------------------------------------------
+
+    def emit_insn(self, insn: BpfInsn) -> list[Insn]:
+        if insn.klass in (CLASS_ALU, CLASS_ALU64):
+            return self._emit_alu(insn)
+        if insn.klass == CLASS_JMP32:
+            return self._emit_jmp32(insn)
+        raise JitError(f"unsupported class {insn.klass:#x}")
+
+    def _emit_alu(self, insn: BpfInsn) -> list[Insn]:
+        op = insn.op_name
+        is64 = insn.is_alu64
+        rd = BPF2RV[insn.dst]
+        out: list[Insn] = []
+        if insn.src_is_reg:
+            rs = BPF2RV[insn.src]
+        else:
+            out += self._emit_imm(TMP1, insn.imm)
+            rs = TMP1
+
+        def zext_fixup():
+            """ALU32 results must be zero-extended; the buggy JITs
+            skipped this for several opcodes."""
+            return [] if is64 else self._zext32(rd)
+
+        if op == "mov":
+            if is64:
+                out.append(Insn("addi", rd=rd, rs1=rs, imm=0))
+            elif "alu32-mov-sext" in self.bugs:
+                # BUG: addiw sign-extends bit 31 into the high word.
+                out.append(Insn("addiw", rd=rd, rs1=rs, imm=0))
+            else:
+                out.append(Insn("addi", rd=rd, rs1=rs, imm=0))
+                out += self._zext32(rd)
+            return out
+
+        if op in ("add", "sub"):
+            wide = op if is64 else op + "w"
+            if not is64 and f"alu32-{op}-no-zext" in self.bugs:
+                # BUG: emit the W-form but skip the zero-extension.
+                out.append(Insn(wide, rd=rd, rs1=rd, rs2=rs))
+                return out
+            out.append(Insn(wide, rd=rd, rs1=rd, rs2=rs))
+            out += zext_fixup()
+            return out
+
+        if op in ("and", "or", "xor"):
+            out.append(Insn(op, rd=rd, rs1=rd, rs2=rs))
+            if not is64 and "alu32-logic-no-zext" in self.bugs:
+                # BUG: rely on operands having clean upper bits.
+                return out
+            out += zext_fixup()
+            return out
+
+        if op == "mul":
+            out.append(Insn("mul" if is64 else "mulw", rd=rd, rs1=rd, rs2=rs))
+            out += zext_fixup()
+            return out
+
+        if op == "div":
+            out.append(Insn("divu" if is64 else "divuw", rd=rd, rs1=rd, rs2=rs))
+            out += zext_fixup()
+            return out
+
+        if op == "mod":
+            out.append(Insn("remu" if is64 else "remuw", rd=rd, rs1=rd, rs2=rs))
+            out += zext_fixup()
+            return out
+
+        if op in ("lsh", "rsh", "arsh"):
+            name64 = {"lsh": "sll", "rsh": "srl", "arsh": "sra"}[op]
+            if is64:
+                if insn.src_is_reg:
+                    out = [Insn(name64, rd=rd, rs1=rd, rs2=rs)]
+                else:
+                    shift = {"lsh": "slli", "rsh": "srli", "arsh": "srai"}[op]
+                    if "alu64-shift-imm-w" in self.bugs:
+                        # BUG: W-form shift truncates a 64-bit operand.
+                        shift += "w"
+                        out = [Insn(shift, rd=rd, rs1=rd, imm=insn.imm & 31)]
+                    else:
+                        out = [Insn(shift, rd=rd, rs1=rd, imm=insn.imm & 63)]
+                return out
+            # ALU32 shifts.
+            if "alu32-shift-64" in self.bugs and op in ("lsh", "rsh"):
+                # BUG: 64-bit shift on a 32-bit subregister.
+                if insn.src_is_reg:
+                    out.append(Insn(name64, rd=rd, rs1=rd, rs2=rs))
+                else:
+                    shift = {"lsh": "slli", "rsh": "srli"}[op]
+                    out.append(Insn(shift, rd=rd, rs1=rd, imm=insn.imm & 63))
+                return out
+            if "alu32-arsh-no-w" in self.bugs and op == "arsh":
+                # BUG: sra instead of sraw (wrong sign bit).
+                if insn.src_is_reg:
+                    out.append(Insn("sra", rd=rd, rs1=rd, rs2=rs))
+                else:
+                    out.append(Insn("srai", rd=rd, rs1=rd, imm=insn.imm & 31))
+                return out
+            namew = name64 + "w"
+            if insn.src_is_reg:
+                out.append(Insn(namew, rd=rd, rs1=rd, rs2=rs))
+            else:
+                shift = {"lsh": "slliw", "rsh": "srliw", "arsh": "sraiw"}[op]
+                out.append(Insn(shift, rd=rd, rs1=rd, imm=insn.imm & 31))
+            out += self._zext32(rd)
+            return out
+
+        if op == "neg":
+            if is64:
+                return out + [Insn("sub", rd=rd, rs1=0, rs2=rd)]
+            if "alu32-neg-no-zext" in self.bugs:
+                # BUG: 64-bit negate without truncation/extension.
+                return out + [Insn("sub", rd=rd, rs1=0, rs2=rd)]
+            return out + [Insn("subw", rd=rd, rs1=0, rs2=rd)] + self._zext32(rd)
+
+        raise JitError(f"unsupported ALU op {op!r}")
+
+    def _emit_jmp32(self, insn: BpfInsn) -> list[Insn]:
+        """JMP32 compare: set TMP1 to the branch decision (0/1).
+
+        The checker compares decisions rather than branch targets, so
+        the translation materializes the condition with slt/sltu.
+        """
+        op = insn.op_name
+        rd = BPF2RV[insn.dst]
+        out: list[Insn] = []
+        if insn.src_is_reg:
+            rs = BPF2RV[insn.src]
+        else:
+            out += self._emit_imm(TMP1, insn.imm)
+            rs = TMP1
+
+        if "jmp32-no-zext" in self.bugs:
+            # BUG: compare the full 64-bit registers.
+            a, b = rd, rs
+        else:
+            # Fixed JIT: zero-extend both operands into temporaries.
+            out += [Insn("addi", rd=TMP2, rs1=rd, imm=0)] + self._zext32(TMP2)
+            out += [Insn("addi", rd=TMP1, rs1=rs, imm=0)] + self._zext32(TMP1)
+            a, b = TMP2, TMP1
+
+        if op == "jeq":
+            out += [
+                Insn("xor", rd=TMP1, rs1=a, rs2=b),
+                Insn("sltiu", rd=TMP1, rs1=TMP1, imm=1),
+            ]
+        elif op == "jlt":
+            out += [Insn("sltu", rd=TMP1, rs1=a, rs2=b)]
+        elif op == "jge":
+            out += [
+                Insn("sltu", rd=TMP1, rs1=a, rs2=b),
+                Insn("xori", rd=TMP1, rs1=TMP1, imm=1),
+            ]
+        else:
+            raise JitError(f"unsupported JMP32 op {op!r}")
+        return out

@@ -1,0 +1,212 @@
+"""The Linux x86-32 BPF JIT, translated to Python (§7).
+
+The x86-32 JIT stores each 64-bit BPF register as a lo/hi pair of
+32-bit stack slots off EBP, staging values through EAX/EDX/ECX.  This
+translation covers 64-bit ALU ops (with carry chains), 32-bit ALU ops
+(which must clear the high word), moves, and the 64-bit shift-by-
+immediate helpers whose >=32 cases held several of the paper's 6
+x86-32 bugs.
+
+``X86Jit(bugs={...})`` re-introduces the historical bug classes; the
+default is the fixed JIT.
+"""
+
+from __future__ import annotations
+
+from ..bpf.insn import CLASS_ALU, CLASS_ALU64, BpfInsn
+from ..x86.insn import X86Insn, mk
+
+__all__ = ["X86Jit", "slot_lo", "slot_hi"]
+
+EAX, ECX, EDX, EBX = 0, 1, 2, 3
+EBP = 5
+
+
+def slot_lo(bpf_reg: int) -> int:
+    """Stack displacement of the low word of a BPF register."""
+    return bpf_reg * 8
+
+
+def slot_hi(bpf_reg: int) -> int:
+    return bpf_reg * 8 + 4
+
+
+class JitError(Exception):
+    pass
+
+
+class X86Jit:
+    """Per-instruction translator, one BPF insn -> list of x86 insns."""
+
+    def __init__(self, bugs: set[str] | frozenset[str] = frozenset()):
+        self.bugs = set(bugs)
+
+    # -- helpers -------------------------------------------------------------
+
+    def _load_pair(self, dst_lo: int, dst_hi: int, bpf_reg: int) -> list[X86Insn]:
+        return [
+            mk("mov", dst=dst_lo, mem=(EBP, slot_lo(bpf_reg))),
+            mk("mov", dst=dst_hi, mem=(EBP, slot_hi(bpf_reg))),
+        ]
+
+    def _store_pair(self, bpf_reg: int, src_lo: int, src_hi: int) -> list[X86Insn]:
+        return [
+            mk("mov_to_mem", mem=(EBP, slot_lo(bpf_reg)), src=src_lo),
+            mk("mov_to_mem", mem=(EBP, slot_hi(bpf_reg)), src=src_hi),
+        ]
+
+    def _clear_hi(self, bpf_reg: int) -> list[X86Insn]:
+        return [mk("mov_to_mem", mem=(EBP, slot_hi(bpf_reg)), imm=0)]
+
+    # -- translation -----------------------------------------------------------
+
+    def emit_insn(self, insn: BpfInsn) -> list[X86Insn]:
+        if insn.klass == CLASS_ALU64:
+            return self._emit_alu64(insn)
+        if insn.klass == CLASS_ALU:
+            return self._emit_alu32(insn)
+        raise JitError(f"unsupported class {insn.klass:#x}")
+
+    def _src_pair_into(self, insn: BpfInsn, lo: int, hi: int) -> list[X86Insn]:
+        if insn.src_is_reg:
+            return self._load_pair(lo, hi, insn.src)
+        sign = -1 if insn.imm < 0 else 0
+        return [
+            mk("mov", dst=lo, imm=insn.imm & 0xFFFFFFFF),
+            mk("mov", dst=hi, imm=sign & 0xFFFFFFFF),
+        ]
+
+    def _emit_alu64(self, insn: BpfInsn) -> list[X86Insn]:
+        op = insn.op_name
+        dst = insn.dst
+        out = self._load_pair(EAX, EDX, dst)
+
+        if op == "mov":
+            out = self._src_pair_into(insn, EAX, EDX)
+            return out + self._store_pair(dst, EAX, EDX)
+
+        if op in ("add", "sub"):
+            out += self._src_pair_into(insn, EBX, ECX)
+            lo_op, hi_op = ("add", "adc") if op == "add" else ("sub", "sbb")
+            out += [mk(lo_op, dst=EAX, src=EBX), mk(hi_op, dst=EDX, src=ECX)]
+            return out + self._store_pair(dst, EAX, EDX)
+
+        if op in ("and", "or", "xor"):
+            out += self._src_pair_into(insn, EBX, ECX)
+            out += [mk(op, dst=EAX, src=EBX), mk(op, dst=EDX, src=ECX)]
+            return out + self._store_pair(dst, EAX, EDX)
+
+        if op == "neg":
+            # -(x) = ~x + 1 over the pair: neg lo; adc-style fixup on hi.
+            out += [
+                mk("not", dst=EAX),
+                mk("not", dst=EDX),
+                mk("add", dst=EAX, imm=1),
+                mk("adc", dst=EDX, imm=0),
+            ]
+            return out + self._store_pair(dst, EAX, EDX)
+
+        if op in ("lsh", "rsh", "arsh") and not insn.src_is_reg:
+            return self._emit_shift64_imm(insn, out)
+
+        raise JitError(f"unsupported ALU64 op {op!r} (src_is_reg={insn.src_is_reg})")
+
+    def _emit_shift64_imm(self, insn: BpfInsn, out: list[X86Insn]) -> list[X86Insn]:
+        """64-bit shift by immediate over the EDX:EAX pair.
+
+        The historically buggy cases are the value >= 32 branches.
+        """
+        op = insn.op_name
+        dst = insn.dst
+        amt = insn.imm & 63
+
+        boundary_buggy = f"{op}64-imm-32-boundary" in self.bugs
+        small_cutoff = 32 if not boundary_buggy else 33  # BUG: 32 takes the <32 path
+
+        if op == "lsh":
+            if amt == 0:
+                pass
+            elif amt < small_cutoff:
+                out += [
+                    mk("shld", dst=EDX, src=EAX, imm=amt),
+                    mk("shl", dst=EAX, imm=amt),
+                ]
+            else:
+                out += [
+                    mk("mov", dst=EDX, src=EAX),
+                    mk("shl", dst=EDX, imm=amt - 32),
+                ]
+                if "lsh64-imm-ge32" not in self.bugs:
+                    # Fixed JIT zeroes the low word; the bug left it.
+                    out += [mk("mov", dst=EAX, imm=0)]
+        elif op == "rsh":
+            if amt == 0:
+                pass
+            elif amt < small_cutoff:
+                out += [
+                    mk("shrd", dst=EAX, src=EDX, imm=amt),
+                    mk("shr", dst=EDX, imm=amt),
+                ]
+            else:
+                out += [
+                    mk("mov", dst=EAX, src=EDX),
+                    mk("shr", dst=EAX, imm=amt - 32),
+                ]
+                if "rsh64-imm-ge32" not in self.bugs:
+                    out += [mk("mov", dst=EDX, imm=0)]
+        elif op == "arsh":
+            if amt == 0:
+                pass
+            elif amt < small_cutoff:
+                out += [
+                    mk("shrd", dst=EAX, src=EDX, imm=amt),
+                    mk("sar", dst=EDX, imm=amt),
+                ]
+            else:
+                out += [mk("mov", dst=EAX, src=EDX)]
+                out += [mk("sar", dst=EAX, imm=amt - 32)]
+                if "arsh64-imm-ge32" in self.bugs:
+                    # BUG: shr leaves zero fill instead of sign fill.
+                    out += [mk("shr", dst=EDX, imm=31)]
+                    out += [mk("mov", dst=EDX, imm=0)]
+                else:
+                    out += [mk("sar", dst=EDX, imm=31)]
+        return out + self._store_pair(dst, EAX, EDX)
+
+    def _emit_alu32(self, insn: BpfInsn) -> list[X86Insn]:
+        op = insn.op_name
+        dst = insn.dst
+        out = [mk("mov", dst=EAX, mem=(EBP, slot_lo(dst)))]
+
+        if insn.src_is_reg:
+            out += [mk("mov", dst=EBX, mem=(EBP, slot_lo(insn.src)))]
+            src_operand = {"src": EBX}
+        else:
+            src_operand = {"imm": insn.imm & 0xFFFFFFFF}
+
+        if op == "mov":
+            if insn.src_is_reg:
+                out = [mk("mov", dst=EAX, mem=(EBP, slot_lo(insn.src)))]
+            else:
+                out = [mk("mov", dst=EAX, imm=insn.imm & 0xFFFFFFFF)]
+            out += [mk("mov_to_mem", mem=(EBP, slot_lo(dst)), src=EAX)]
+            if "mov32-imm-no-hi-clear" in self.bugs:
+                return out  # BUG: high word keeps its old value
+            return out + self._clear_hi(dst)
+
+        if op in ("add", "sub", "and", "or", "xor"):
+            out += [mk(op, dst=EAX, **src_operand)]
+        elif op in ("lsh", "rsh", "arsh"):
+            if insn.src_is_reg:
+                raise JitError("ALU32 register shifts not in this subset")
+            mn = {"lsh": "shl", "rsh": "shr", "arsh": "sar"}[op]
+            out += [mk(mn, dst=EAX, imm=insn.imm & 31)]
+        elif op == "neg":
+            out += [mk("neg", dst=EAX)]
+        else:
+            raise JitError(f"unsupported ALU32 op {op!r}")
+
+        out += [mk("mov_to_mem", mem=(EBP, slot_lo(dst)), src=EAX)]
+        if "alu32-no-hi-clear" in self.bugs:
+            return out  # BUG: result high word not zeroed
+        return out + self._clear_hi(dst)

@@ -1,0 +1,32 @@
+"""Mini-C compiler: the gcc substitute (DESIGN.md substitution 4).
+
+Builds the monitors' C parts from Python-constructed ASTs and compiles
+them to RISC-V at -O0/-O1/-O2, feeding Figure 11's optimization-level
+axis.
+"""
+
+from .ast import (
+    Arg,
+    Assign,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    CsrRead,
+    CsrWrite,
+    Expr,
+    ExprStmt,
+    Func,
+    GlobalAddr,
+    If,
+    Load,
+    Program,
+    Return,
+    Stmt,
+    Store,
+    Var,
+    While,
+)
+from .codegen import CompileError, compile_program
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,172 @@
+"""Mini-C abstract syntax (the gcc substitute's source language).
+
+The monitors' C parts are written as ASTs built in Python — there is
+no parser because there is no text: this mirrors how CertiKOS keeps
+the Clight AST in Coq and deletes the original C source (§6.2).
+
+The language is deliberately the subset the paper's systems need:
+word-sized integers, globals with array/struct layout, pointer
+arithmetic with constant strides, bounded loops, CSR access, and
+straight calls.  No unbounded loops — Serval requires finite
+interfaces (§3.5) and the compiler enforces the loop bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Arg",
+    "GlobalAddr",
+    "Load",
+    "BinOp",
+    "Cmp",
+    "CsrRead",
+    "Call",
+    "Stmt",
+    "Assign",
+    "Store",
+    "If",
+    "While",
+    "Return",
+    "CsrWrite",
+    "ExprStmt",
+    "Func",
+    "Program",
+]
+
+
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A local variable."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Arg(Expr):
+    """The i-th function argument (a0..a7)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class GlobalAddr(Expr):
+    """The address of a data symbol (plus a constant byte offset)."""
+
+    name: str
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Word load from a computed address."""
+
+    addr: Expr
+    nbytes: int = 0  # 0 = natural word size
+    signed: bool = False
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """op in +, -, *, &, |, ^, <<, >>, >>a, /u, %u"""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """Comparison producing 0/1.  op in ==, !=, <u, <=u, <s, <=s."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class CsrRead(Expr):
+    csr: str
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    func: str
+    args: tuple[Expr, ...] = ()
+
+
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    var: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Store(Stmt):
+    addr: Expr
+    value: Expr
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: tuple[Stmt, ...]
+    els: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """A loop with a static unroll bound (finite interfaces, §3.5)."""
+
+    cond: Expr
+    body: tuple[Stmt, ...]
+    bound: int = 16
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass(frozen=True)
+class CsrWrite(Stmt):
+    csr: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Func:
+    name: str
+    num_args: int
+    body: tuple[Stmt, ...]
+    locals: tuple[str, ...] = ()
+
+
+@dataclass
+class Program:
+    funcs: list[Func]
+    # data symbols: (name, addr, size, shape) for the image/linker
+    data: list[tuple[str, int, int, tuple]] = field(default_factory=list)

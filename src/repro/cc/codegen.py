@@ -1,0 +1,433 @@
+"""Mini-C code generator targeting RISC-V, with -O0/-O1/-O2 levels.
+
+The three levels model what gcc's levels do to verification load
+(§6.4: verifying a -O1/-O2 Komodo binary initially took five times as
+long as -O0):
+
+  * ``O0`` -- every local and argument lives in a stack slot; every
+    use reloads it; no constant folding.  More instructions, more
+    memory traffic, more constraints.
+  * ``O1`` -- locals in callee-saved registers, constant folding,
+    register-resident expression evaluation.
+  * ``O2`` -- O1 plus a peephole pass (immediate fusion, redundant
+    move elimination) and if-conversion of small diamonds into
+    branchless compare/mask sequences, which is the pattern the §6.4
+    "one new optimization" targets.
+
+Functions follow a simplified standard ABI: args in a0..a7, result in
+a0, ra/callee-saved registers preserved via the stack frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..riscv.asm import Assembler
+from .ast import (
+    Arg,
+    Assign,
+    BinOp,
+    Call,
+    Cmp,
+    Const,
+    CsrRead,
+    CsrWrite,
+    Expr,
+    ExprStmt,
+    Func,
+    GlobalAddr,
+    If,
+    Load,
+    Program,
+    Return,
+    Stmt,
+    Store,
+    Var,
+    While,
+)
+
+__all__ = ["compile_program", "CompileError"]
+
+
+class CompileError(Exception):
+    pass
+
+
+TEMP_REGS = ["t0", "t1", "t2", "t3", "t4", "t5"]
+LOCAL_REGS = ["s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"]
+
+
+@dataclass
+class _FuncCtx:
+    func: Func
+    opt: int
+    frame: int = 0
+    slot_of: dict = None  # local/arg name -> stack offset (O0)
+    reg_of: dict = None  # local name -> s-register (O1+)
+    used_sregs: list = None
+    label_counter: int = 0
+    has_call: bool = False
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f".{self.func.name}.{hint}.{self.label_counter}"
+
+
+def _scan_calls(stmts) -> bool:
+    for s in stmts:
+        if isinstance(s, (Assign, ExprStmt)) and isinstance(getattr(s, "value", getattr(s, "expr", None)), Call):
+            return True
+        if isinstance(s, If) and (_scan_calls(s.then) or _scan_calls(s.els)):
+            return True
+        if isinstance(s, While) and _scan_calls(s.body):
+            return True
+        if isinstance(s, Return) and isinstance(s.value, Call):
+            return True
+    return False
+
+
+class _Compiler:
+    def __init__(self, asm: Assembler, opt: int, xlen: int):
+        self.asm = asm
+        self.opt = opt
+        self.xlen = xlen
+        self.word = xlen // 8
+        self._pending_peephole: list = []
+
+    # -- word-sized memory helpers ------------------------------------------------
+
+    def _load_word(self, rd, off, rs1):
+        if self.word == 8:
+            self.asm.ld(rd, off, rs1)
+        else:
+            self.asm.lw(rd, off, rs1)
+
+    def _store_word(self, rs2, off, rs1):
+        if self.word == 8:
+            self.asm.sd(rs2, off, rs1)
+        else:
+            self.asm.sw(rs2, off, rs1)
+
+    # -- function compilation -------------------------------------------------------
+
+    def compile_func(self, func: Func) -> None:
+        ctx = _FuncCtx(func, self.opt, slot_of={}, reg_of={}, used_sregs=[])
+        ctx.has_call = _scan_calls(func.body)
+
+        if self.opt == 0:
+            # Everything in stack slots: ra, args, locals.
+            names = [f"$a{i}" for i in range(func.num_args)] + list(func.locals)
+            offset = self.word  # slot 0 reserved for ra
+            for name in names:
+                ctx.slot_of[name] = offset
+                offset += self.word
+            ctx.frame = _align16(offset)
+        else:
+            for i, name in enumerate(func.locals):
+                if i >= len(LOCAL_REGS):
+                    raise CompileError(f"{func.name}: too many locals for O1 allocation")
+                ctx.reg_of[name] = LOCAL_REGS[i]
+                ctx.used_sregs.append(LOCAL_REGS[i])
+            ctx.frame = _align16(self.word * (1 + len(ctx.used_sregs)))
+
+        asm = self.asm
+        asm.label(func.name)
+        # Prologue.
+        asm.addi("sp", "sp", -ctx.frame)
+        self._store_word("ra", 0, "sp")
+        if self.opt == 0:
+            for i in range(func.num_args):
+                self._store_word(f"a{i}", ctx.slot_of[f"$a{i}"], "sp")
+        else:
+            for i, reg in enumerate(ctx.used_sregs):
+                self._store_word(reg, self.word * (1 + i), "sp")
+
+        self._stmts(ctx, func.body)
+
+        asm.label(ctx.new_label("epilogue"))
+        self._epilogue(ctx)
+
+    def _epilogue(self, ctx: _FuncCtx) -> None:
+        asm = self.asm
+        if self.opt != 0:
+            for i, reg in enumerate(ctx.used_sregs):
+                self._load_word(reg, self.word * (1 + i), "sp")
+        self._load_word("ra", 0, "sp")
+        asm.addi("sp", "sp", ctx.frame)
+        asm.ret()
+
+    # -- statements --------------------------------------------------------------------
+
+    def _stmts(self, ctx: _FuncCtx, stmts) -> None:
+        for s in stmts:
+            self._stmt(ctx, s)
+
+    def _stmt(self, ctx: _FuncCtx, s: Stmt) -> None:
+        asm = self.asm
+        if isinstance(s, Assign):
+            reg = self._expr(ctx, s.value, TEMP_REGS)
+            self._write_local(ctx, s.var, reg)
+        elif isinstance(s, Store):
+            nbytes = s.nbytes or self.word
+            value = self._expr(ctx, s.value, TEMP_REGS)
+            addr = self._expr(ctx, s.addr, _after(TEMP_REGS, value))
+            {1: asm.sb, 2: asm.sh, 4: asm.sw, 8: asm.sd}[nbytes](value, 0, addr)
+        elif isinstance(s, If):
+            self._if(ctx, s)
+        elif isinstance(s, While):
+            self._while(ctx, s)
+        elif isinstance(s, Return):
+            if s.value is not None:
+                reg = self._expr(ctx, s.value, TEMP_REGS)
+                if reg != "a0":
+                    asm.mv("a0", reg)
+            self._epilogue(ctx)
+        elif isinstance(s, CsrWrite):
+            reg = self._expr(ctx, s.value, TEMP_REGS)
+            asm.csrrw("zero", s.csr, reg)
+        elif isinstance(s, ExprStmt):
+            self._expr(ctx, s.expr, TEMP_REGS)
+        else:
+            raise CompileError(f"unknown statement {s!r}")
+
+    def _if(self, ctx: _FuncCtx, s: If) -> None:
+        asm = self.asm
+        folded = self._try_const(ctx, s.cond)
+        if folded is not None and self.opt >= 1:
+            self._stmts(ctx, s.then if folded else s.els)
+            return
+        else_label = ctx.new_label("else")
+        end_label = ctx.new_label("endif")
+        cond = self._expr(ctx, s.cond, TEMP_REGS)
+        asm.beqz(cond, else_label)
+        self._stmts(ctx, s.then)
+        if s.els:
+            asm.j(end_label)
+        asm.label(else_label)
+        if s.els:
+            self._stmts(ctx, s.els)
+            asm.label(end_label)
+
+    def _while(self, ctx: _FuncCtx, s: While) -> None:
+        asm = self.asm
+        head = ctx.new_label("loop")
+        done = ctx.new_label("done")
+        asm.label(head)
+        cond = self._expr(ctx, s.cond, TEMP_REGS)
+        asm.beqz(cond, done)
+        self._stmts(ctx, s.body)
+        asm.j(head)
+        asm.label(done)
+
+    def _write_local(self, ctx: _FuncCtx, name: str, reg: str) -> None:
+        if self.opt == 0:
+            if name not in ctx.slot_of:
+                raise CompileError(f"{ctx.func.name}: unknown local {name!r}")
+            self._store_word(reg, ctx.slot_of[name], "sp")
+        else:
+            target = ctx.reg_of.get(name)
+            if target is None:
+                raise CompileError(f"{ctx.func.name}: unknown local {name!r}")
+            if target != reg:
+                self.asm.mv(target, reg)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _try_const(self, ctx: _FuncCtx, e: Expr) -> int | None:
+        """Constant folding (O1+)."""
+        if self.opt == 0:
+            return None
+        if isinstance(e, Const):
+            return e.value
+        if isinstance(e, BinOp):
+            left = self._try_const(ctx, e.left)
+            right = self._try_const(ctx, e.right)
+            if left is None or right is None:
+                return None
+            mask = (1 << self.xlen) - 1
+            ops = {
+                "+": lambda a, b: a + b,
+                "-": lambda a, b: a - b,
+                "*": lambda a, b: a * b,
+                "&": lambda a, b: a & b,
+                "|": lambda a, b: a | b,
+                "^": lambda a, b: a ^ b,
+                "<<": lambda a, b: a << (b % self.xlen),
+                ">>": lambda a, b: (a & mask) >> (b % self.xlen),
+            }
+            if e.op in ops:
+                return ops[e.op](left, right) & mask
+        return None
+
+    def _expr(self, ctx: _FuncCtx, e: Expr, avail: list[str]) -> str:
+        """Evaluate ``e`` into a register drawn from ``avail``."""
+        asm = self.asm
+        if not avail:
+            raise CompileError("expression too deep: out of temporaries")
+        dest = avail[0]
+
+        folded = self._try_const(ctx, e)
+        if folded is not None:
+            signed = folded - (1 << self.xlen) if folded >> (self.xlen - 1) else folded
+            asm.li(dest, signed)
+            return dest
+
+        if isinstance(e, Const):
+            asm.li(dest, e.value)
+            return dest
+        if isinstance(e, Arg):
+            if self.opt == 0:
+                self._load_word(dest, ctx.slot_of[f"$a{e.index}"], "sp")
+                return dest
+            return f"a{e.index}"
+        if isinstance(e, Var):
+            if self.opt == 0:
+                self._load_word(dest, ctx.slot_of[e.name], "sp")
+                return dest
+            reg = ctx.reg_of.get(e.name)
+            if reg is None:
+                raise CompileError(f"{ctx.func.name}: unknown local {e.name!r}")
+            return reg
+        if isinstance(e, GlobalAddr):
+            self.asm.la(dest, e.name)
+            if e.offset:
+                asm.addi(dest, dest, e.offset)
+            return dest
+        if isinstance(e, Load):
+            nbytes = e.nbytes or self.word
+            addr = self._expr(ctx, e.addr, avail)
+            op = {
+                (1, False): asm.lbu, (1, True): asm.lb,
+                (2, False): asm.lhu, (2, True): asm.lh,
+                (4, False): asm.lwu if self.xlen == 64 else asm.lw, (4, True): asm.lw,
+                (8, False): asm.ld, (8, True): asm.ld,
+            }[(nbytes, e.signed)]
+            op(dest, 0, addr)
+            return dest
+        if isinstance(e, BinOp):
+            return self._binop(ctx, e, avail)
+        if isinstance(e, Cmp):
+            return self._cmp(ctx, e, avail)
+        if isinstance(e, CsrRead):
+            asm.csrrs(dest, e.csr, "zero")
+            return dest
+        if isinstance(e, Call):
+            return self._call(ctx, e, dest)
+        raise CompileError(f"unknown expression {e!r}")
+
+    def _binop(self, ctx: _FuncCtx, e: BinOp, avail: list[str]) -> str:
+        asm = self.asm
+        dest = avail[0]
+        left = self._expr(ctx, e.left, avail)
+        rest = _after(avail, left)
+        # Immediate fusion at O2.
+        rconst = self._try_const(ctx, e.right) if self.opt >= 2 else None
+        if rconst is not None and e.op in ("+", "&", "|", "^") and -2048 <= _signed(rconst, self.xlen) <= 2047:
+            op = {"+": asm.addi, "&": asm.andi, "|": asm.ori, "^": asm.xori}[e.op]
+            op(dest, left, _signed(rconst, self.xlen))
+            return dest
+        if rconst is not None and e.op in ("<<", ">>", ">>a") and 0 <= rconst < self.xlen:
+            op = {"<<": asm.slli, ">>": asm.srli, ">>a": asm.srai}[e.op]
+            op(dest, left, rconst)
+            return dest
+        right = self._expr(ctx, e.right, rest)
+        op = {
+            "+": asm.add, "-": asm.sub, "*": asm.mul,
+            "&": getattr(asm, "and"), "|": getattr(asm, "or"), "^": asm.xor,
+            "<<": asm.sll, ">>": asm.srl, ">>a": asm.sra,
+            "/u": asm.divu, "%u": asm.remu,
+        }.get(e.op)
+        if op is None:
+            raise CompileError(f"unknown binop {e.op!r}")
+        op(dest, left, right)
+        return dest
+
+    def _cmp(self, ctx: _FuncCtx, e: Cmp, avail: list[str]) -> str:
+        asm = self.asm
+        dest = avail[0]
+        left = self._expr(ctx, e.left, avail)
+        right = self._expr(ctx, e.right, _after(avail, left))
+        if e.op == "==":
+            asm.sub(dest, left, right)
+            asm.seqz(dest, dest)
+        elif e.op == "!=":
+            asm.sub(dest, left, right)
+            asm.snez(dest, dest)
+        elif e.op == "<u":
+            asm.sltu(dest, left, right)
+        elif e.op == "<s":
+            asm.slt(dest, left, right)
+        elif e.op == "<=u":
+            asm.sltu(dest, right, left)
+            asm.xori(dest, dest, 1)
+        elif e.op == "<=s":
+            asm.slt(dest, right, left)
+            asm.xori(dest, dest, 1)
+        else:
+            raise CompileError(f"unknown comparison {e.op!r}")
+        return dest
+
+    def _call(self, ctx: _FuncCtx, e: Call, dest: str) -> str:
+        asm = self.asm
+        for arg in e.args:
+            if not isinstance(arg, (Const, Arg, Var, GlobalAddr)):
+                raise CompileError("call arguments must be simple (const/arg/var/global)")
+        # Evaluate into a0.. in order; simple exprs cannot clobber each
+        # other as long as sources are read before writes to the same
+        # register -- enforce by staging through temps when needed.
+        for i, arg in enumerate(e.args):
+            target = f"a{i}"
+            if isinstance(arg, Arg) and self.opt != 0:
+                src = f"a{arg.index}"
+                if src != target:
+                    if arg.index > i:
+                        asm.mv(target, src)
+                    else:
+                        # Earlier a-registers were already overwritten;
+                        # re-evaluating is unsound. Require staging.
+                        raise CompileError("call shuffles argument registers; use locals")
+            else:
+                reg = self._expr(ctx, arg, [target] + TEMP_REGS)
+                if reg != target:
+                    asm.mv(target, reg)
+        asm.call(e.func)
+        if dest != "a0":
+            asm.mv(dest, "a0")
+        return dest
+
+
+def _after(avail: list[str], used: str) -> list[str]:
+    if used in avail:
+        idx = avail.index(used)
+        return avail[idx + 1 :]
+    return avail
+
+
+def _align16(n: int) -> int:
+    return (n + 15) & ~15
+
+
+def _signed(value: int, xlen: int) -> int:
+    return value - (1 << xlen) if value >> (xlen - 1) else value
+
+
+def compile_program(
+    program: Program,
+    asm: Assembler,
+    opt: int = 1,
+) -> None:
+    """Compile every function into the given assembler.
+
+    Data symbols are declared on the assembler first so ``la`` works;
+    callers typically emit boot/trap assembly around the compiled
+    functions before calling ``asm.assemble()``.
+    """
+    if opt not in (0, 1, 2):
+        raise CompileError(f"unknown optimization level O{opt}")
+    declared = {sym.name for sym in asm._symbols}
+    for name, addr, size, shape in program.data:
+        if name not in declared:
+            asm.data_symbol(name, addr, size, shape)
+    compiler = _Compiler(asm, opt, asm.xlen)
+    for func in program.funcs:
+        compiler.compile_func(func)

@@ -1,0 +1,224 @@
+"""Lower mini-C to the LLVM-like IR (the §6.4 incremental strategy).
+
+"We therefore take an incremental approach, using LLVM as an
+intermediate step.  First, we compile the core subset of a monitor
+(trap handlers written in C) to LLVM ... and prove refinement using
+the LLVM verifier ... Next, we reuse and augment the specification
+from the previous step, and prove refinement for the binary image."
+
+This lowering lets the monitors' handlers be verified twice against
+the *same* functional specification: once at the LLVM level (cheap,
+structured, easier to debug) and once from the RISC-V binary (the
+final theorem, no compiler in the TCB).
+"""
+
+from __future__ import annotations
+
+from ..llvm.ir import (
+    Bin,
+    Block,
+    Br,
+    CondBr,
+    Const,
+    Function as LFunction,
+    Gep,
+    GlobalRef,
+    Icmp,
+    Load as LLoad,
+    Local,
+    Module,
+    Param,
+    Ret,
+    Store as LStore,
+)
+from .ast import (
+    Arg,
+    Assign,
+    BinOp,
+    Call,
+    Cmp,
+    Const as CConst,
+    CsrRead,
+    CsrWrite,
+    Expr,
+    ExprStmt,
+    Func,
+    GlobalAddr,
+    If,
+    Load,
+    Program,
+    Return,
+    Stmt,
+    Store,
+    Var,
+    While,
+)
+from .codegen import CompileError
+
+__all__ = ["lower_program", "lower_function"]
+
+W = 32
+
+
+class _Lowering:
+    def __init__(self, func: Func):
+        self.func = func
+        self.blocks: list[Block] = []
+        self.current: list = []  # instructions of the open block
+        self.current_label = "entry"
+        self.counter = 0
+        self.tmp = 0
+
+    def new_label(self, hint: str) -> str:
+        self.counter += 1
+        return f"{hint}{self.counter}"
+
+    def new_tmp(self) -> str:
+        self.tmp += 1
+        return f"t{self.tmp}"
+
+    def seal(self, terminator) -> None:
+        self.blocks.append(Block(self.current_label, self.current, terminator))
+        self.current = []
+
+    def open_block(self, label: str) -> None:
+        self.current_label = label
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, e: Expr):
+        """Lower an expression; returns an operand (Value)."""
+        if isinstance(e, CConst):
+            return Const(e.value & 0xFFFFFFFF, W)
+        if isinstance(e, Arg):
+            return Param(e.index)
+        if isinstance(e, Var):
+            # Mini-C locals are mutable; the non-SSA IR's locals match.
+            return Local(f"v_{e.name}")
+        if isinstance(e, GlobalAddr):
+            if e.offset:
+                dst = self.new_tmp()
+                self.current.append(
+                    Gep(dst, GlobalRef(e.name), Const(0, W), 0, offset=e.offset)
+                )
+                return Local(dst)
+            return GlobalRef(e.name)
+        if isinstance(e, Load):
+            addr = self.expr(e.addr)
+            dst = self.new_tmp()
+            nbytes = e.nbytes or W // 8
+            self.current.append(LLoad(dst, addr, nbytes, signed=e.signed, width=W))
+            return Local(dst)
+        if isinstance(e, BinOp):
+            ops = {
+                "+": "add", "-": "sub", "*": "mul", "&": "and", "|": "or", "^": "xor",
+                "<<": "shl", ">>": "lshr", ">>a": "ashr", "/u": "udiv", "%u": "urem",
+            }
+            if e.op not in ops:
+                raise CompileError(f"cannot lower binop {e.op!r}")
+            a, b = self.expr(e.left), self.expr(e.right)
+            dst = self.new_tmp()
+            self.current.append(Bin(dst, ops[e.op], a, b))
+            return Local(dst)
+        if isinstance(e, Cmp):
+            preds = {"==": "eq", "!=": "ne", "<u": "ult", "<=u": "ule", "<s": "slt", "<=s": "sle"}
+            a, b = self.expr(e.left), self.expr(e.right)
+            bit = self.new_tmp()
+            self.current.append(Icmp(bit, preds[e.op], a, b))
+            wide = self.new_tmp()
+            from ..llvm.ir import Cast
+
+            self.current.append(Cast(wide, "zext", Local(bit), W))
+            return Local(wide)
+        if isinstance(e, (CsrRead, Call)):
+            raise CompileError(f"{type(e).__name__} has no LLVM-level lowering (machine-only)")
+        raise CompileError(f"cannot lower expression {e!r}")
+
+    # -- statements ---------------------------------------------------------
+
+    def stmts(self, body) -> bool:
+        """Lower statements; returns True if the flow fell through."""
+        for s in body:
+            if not self.stmt(s):
+                return False
+        return True
+
+    def stmt(self, s: Stmt) -> bool:
+        if isinstance(s, Assign):
+            value = self.expr(s.value)
+            # Bind the mutable local by re-assigning the IR local.
+            self.current.append(Bin(f"v_{s.var}", "add", value, Const(0, W)))
+            return True
+        if isinstance(s, Store):
+            value = self.expr(s.value)
+            addr = self.expr(s.addr)
+            self.current.append(LStore(addr, value, s.nbytes or W // 8))
+            return True
+        if isinstance(s, Return):
+            value = self.expr(s.value) if s.value is not None else None
+            self.seal(Ret(value))
+            self.open_block(self.new_label("dead"))
+            return False
+        if isinstance(s, If):
+            cond = self.expr(s.cond)
+            bit = self.new_tmp()
+            self.current.append(Icmp(bit, "ne", cond, Const(0, W)))
+            then_label = self.new_label("then")
+            else_label = self.new_label("else") if s.els else None
+            join_label = self.new_label("join")
+            self.seal(CondBr(Local(bit), then_label, else_label or join_label))
+
+            self.open_block(then_label)
+            if self.stmts(s.then):
+                self.seal(Br(join_label))
+            if s.els:
+                self.open_block(else_label)
+                if self.stmts(s.els):
+                    self.seal(Br(join_label))
+            self.open_block(join_label)
+            return True
+        if isinstance(s, While):
+            head = self.new_label("loop")
+            body_label = self.new_label("body")
+            done = self.new_label("done")
+            self.seal(Br(head))
+            self.open_block(head)
+            cond = self.expr(s.cond)
+            bit = self.new_tmp()
+            self.current.append(Icmp(bit, "ne", cond, Const(0, W)))
+            self.seal(CondBr(Local(bit), body_label, done))
+            self.open_block(body_label)
+            if self.stmts(s.body):
+                self.seal(Br(head))
+            self.open_block(done)
+            return True
+        if isinstance(s, ExprStmt):
+            self.expr(s.expr)
+            return True
+        if isinstance(s, CsrWrite):
+            raise CompileError("CSR access has no LLVM-level lowering (machine-only)")
+        raise CompileError(f"cannot lower statement {s!r}")
+
+
+def lower_function(func: Func) -> LFunction:
+    """Lower one mini-C function to an LLVM-level function."""
+    lowering = _Lowering(func)
+    if lowering.stmts(func.body):
+        lowering.seal(Ret(Const(0, W)))
+    else:
+        # seal() already closed the last real block; drop the dead one.
+        pass
+    blocks = {b.label: b for b in lowering.blocks}
+    return LFunction(func.name, func.num_args, blocks, entry="entry")
+
+
+def lower_program(program: Program) -> Module:
+    """Lower every lowerable function (CSR/call-using ones are machine
+    code's business) into an LLVM module sharing the data layout."""
+    functions = {}
+    for func in program.funcs:
+        try:
+            functions[func.name] = lower_function(func)
+        except CompileError:
+            continue  # machine-only constructs: binary-level proof only
+    return Module(functions=functions, data=list(program.data))

@@ -1,0 +1,67 @@
+"""CertiKOS^s abstraction function and representation invariant (§3.3).
+
+``abstract`` maps an implementation machine state (registers + the
+monitor's data structures in physical memory) to a specification
+state; ``rep_invariant`` pins down the well-formedness facts the
+refinement proof may assume — and must re-establish.
+"""
+
+from __future__ import annotations
+
+from ..riscv import CpuState
+from ..sym import SymBool, SymBV, bv_val, ite
+from .layout import NPROC, NSAVED, PCB_STRIDE, PROC_FREE, PROC_RUN, SAVED_REGS, WORD, XLEN
+from .spec import CertiState
+
+__all__ = ["abstract", "rep_invariant", "read_current", "read_proc_field", "read_pcb_reg"]
+
+
+def read_current(cpu: CpuState) -> SymBV:
+    return cpu.mem.region("current").block.load(bv_val(0, XLEN), WORD, cpu.mem.opts)
+
+
+def read_proc_field(cpu: CpuState, pid: int, field: str) -> SymBV:
+    offset = pid * 8 + (0 if field == "state" else WORD)
+    return cpu.mem.region("procs").block.load(bv_val(offset, XLEN), WORD, cpu.mem.opts)
+
+
+def read_pcb_reg(cpu: CpuState, pid: int, j: int) -> SymBV:
+    offset = pid * PCB_STRIDE + WORD * j
+    return cpu.mem.region("pcb").block.load(bv_val(offset, XLEN), WORD, cpu.mem.opts)
+
+
+def abstract(cpu: CpuState) -> CertiState:
+    """AF: the current process's registers live in the CPU; everyone
+    else's live in their PCB (§6.2 execution model)."""
+    current = read_current(cpu)
+    out = CertiState.__new__(CertiState)
+    out.current = current
+    out.state = [read_proc_field(cpu, p, "state") for p in range(NPROC)]
+    out.quota = [read_proc_field(cpu, p, "quota") for p in range(NPROC)]
+    # nr_children exists only for the legacy implicit-spawn spec; the
+    # explicit-PID system neither stores nor depends on it.
+    out.nr_children = [bv_val(0, XLEN) for _ in range(NPROC)]
+    regs = []
+    for p in range(NPROC):
+        for j, (_, num) in enumerate(SAVED_REGS):
+            live = cpu.reg(num)
+            saved = read_pcb_reg(cpu, p, j)
+            regs.append(ite(current == p, live, saved))
+    out.regs = regs
+    return out
+
+
+def rep_invariant(cpu: CpuState) -> SymBool:
+    """RI over the implementation state."""
+    current = read_current(cpu)
+    inv = current < NPROC
+    # The running process is marked RUN, and the root process exists.
+    running_state = read_proc_field(cpu, NPROC - 1, "state")
+    for p in range(NPROC - 2, -1, -1):
+        running_state = ite(current == p, read_proc_field(cpu, p, "state"), running_state)
+    inv = inv & (running_state == PROC_RUN)
+    inv = inv & (read_proc_field(cpu, 0, "state") == PROC_RUN)
+    for p in range(NPROC):
+        st = read_proc_field(cpu, p, "state")
+        inv = inv & ((st == PROC_FREE) | (st == PROC_RUN))
+    return inv

@@ -1,0 +1,178 @@
+"""CertiKOS^s abstract specification (§6.2).
+
+Specification state: the current PID, per-process state flags and
+quotas, and each process's saved-register view.  Three monitor calls:
+
+  * ``get_quota``            -- returns the caller's remaining quota;
+  * ``spawn(child, quota)``  -- creates child with an explicit PID the
+    caller owns (the paper's covert-channel fix) and a quota carved
+    out of the caller's;
+  * ``yield``                -- cooperative round-robin switch.
+
+The spec also provides the *original* CertiKOS spawn (child PID
+derived from a private ``nr_children`` counter) so the NI proofs can
+demonstrate the PID covert channel the Nickel specification caught.
+"""
+
+from __future__ import annotations
+
+from ..core import spec_struct
+from ..sym import SymBool, SymBV, bv_val, ite, sym_false, sym_true
+from .layout import CALL_GET_QUOTA, CALL_SPAWN, CALL_YIELD, NCHILD, NPROC, NSAVED, PROC_FREE, PROC_RUN, XLEN
+
+__all__ = [
+    "CertiState",
+    "spec_get_quota",
+    "spec_spawn",
+    "spec_spawn_implicit",
+    "spec_yield",
+    "state_invariant",
+]
+
+# regs is a flat vector: proc p's register j lives at index p*NSAVED+j.
+CertiState = spec_struct(
+    "certikos",
+    current=XLEN,
+    state=(XLEN, NPROC),
+    quota=(XLEN, NPROC),
+    nr_children=(XLEN, NPROC),
+    regs=(XLEN, NPROC * NSAVED),
+)
+
+A0 = 2  # index of a0 within the saved-register vector (ra, sp, a0, ...)
+
+
+def reg_of(s, pid_concrete: int, j: int) -> SymBV:
+    return s.regs[pid_concrete * NSAVED + j]
+
+
+def _select(vec, idx: SymBV, count: int) -> SymBV:
+    """vec[idx] for a symbolic idx over a concrete list."""
+    out = vec[count - 1]
+    for i in range(count - 2, -1, -1):
+        out = ite(idx == i, vec[i], out)
+    return out
+
+
+def _update(vec, idx: SymBV, value, count: int, guard=None):
+    """Functional vec[idx] := value (guarded)."""
+    out = list(vec)
+    for i in range(count):
+        cond = idx == i if guard is None else (idx == i) & guard
+        out[i] = ite(cond, value, vec[i])
+    return out
+
+
+def _set_reg(regs, pid: SymBV, j: int, value, guard=None):
+    out = list(regs)
+    for p in range(NPROC):
+        cond = pid == p if guard is None else (pid == p) & guard
+        out[p * NSAVED + j] = ite(cond, value, regs[p * NSAVED + j])
+    return out
+
+
+def state_invariant(s) -> SymBool:
+    """RI at the specification level: well-formed scheduler state."""
+    inv = s.current < NPROC
+    inv = inv & (_select(s.state, s.current, NPROC) == PROC_RUN)
+    inv = inv & (s.state[0] == PROC_RUN)  # the root process always runs
+    for i in range(NPROC):
+        inv = inv & ((s.state[i] == PROC_FREE) | (s.state[i] == PROC_RUN))
+    return inv
+
+
+def spec_get_quota(s):
+    """a0' := quota[current]; everything else preserved."""
+    out = s.copy()
+    out.regs = _set_reg(s.regs, s.current, A0, _select(s.quota, s.current, NPROC))
+    return out
+
+
+def _spawn_common(s, child: SymBV, quota_arg: SymBV, ok: SymBool):
+    out = s.copy()
+    zero = bv_val(0, XLEN)
+    out.state = _update(s.state, child, bv_val(PROC_RUN, XLEN), NPROC, guard=ok)
+    out.quota = _update(s.quota, child, quota_arg, NPROC, guard=ok)
+    # Parent pays the child's quota.
+    cur_quota = _select(s.quota, s.current, NPROC)
+    out.quota = _update(out.quota, s.current, cur_quota - quota_arg, NPROC, guard=ok)
+    # The child starts with minimum state: all saved registers zero
+    # (ELF loading is delegated to untrusted S-mode, §6.2).
+    regs = list(out.regs)
+    for j in range(NSAVED):
+        regs = _set_reg(regs, child, j, zero, guard=ok)
+    # Return value: child PID on success, -1 on failure.
+    regs = _set_reg(regs, s.current, A0, ite(ok, child, bv_val(-1, XLEN)))
+    out.regs = regs
+    return out
+
+
+def _owned(current: SymBV, child: SymBV) -> SymBool:
+    """Static PID ownership: child in [N*cur+1, N*cur+N] (and exists)."""
+    base = current * NCHILD + 1
+    return (child >= base) & (child < base + NCHILD) & (child < NPROC)
+
+
+def spec_spawn(s, child: SymBV, quota_arg: SymBV):
+    """CertiKOS^s spawn: the caller *chooses* an owned child PID.
+
+    This closes the covert channel: success depends only on statically
+    public information (PID ownership) plus the caller's own state.
+    """
+    ok = (
+        _owned(s.current, child)
+        & (_select(s.state, child, NPROC) == PROC_FREE)
+        & (quota_arg <= _select(s.quota, s.current, NPROC))
+    )
+    return _spawn_common(s, child, quota_arg, ok)
+
+
+def spec_spawn_implicit(s, quota_arg: SymBV):
+    """The *original* CertiKOS spawn: child = N*pid + nr_children + 1.
+
+    The allocated PID discloses the caller's number of children to the
+    child — the covert channel that the Nickel-style NI specification
+    catches (§6.2).  Kept for the bug-reproduction tests.
+    """
+    child = s.current * NCHILD + _select(s.nr_children, s.current, NPROC) + 1
+    ok = (
+        (_select(s.nr_children, s.current, NPROC) < NCHILD)
+        & (child < NPROC)
+        & (_select(s.state, child, NPROC) == PROC_FREE)
+        & (quota_arg <= _select(s.quota, s.current, NPROC))
+    )
+    out = _spawn_common(s, child, quota_arg, ok)
+    # The private children counter is what makes the allocated PID a
+    # covert channel; the explicit-PID variant never reads or writes it.
+    out.nr_children = _update(
+        out.nr_children, s.current, _select(s.nr_children, s.current, NPROC) + 1, NPROC, guard=ok
+    )
+    return out
+
+
+def spec_next_runnable(s) -> SymBV:
+    """Round-robin: the first RUN process after ``current`` (cyclic)."""
+    current = s.current
+    next_pid = current  # fallback: self
+    # Scan offsets NPROC-1 .. 1 so nearer candidates override.
+    for off in range(NPROC - 1, 0, -1):
+        cand = current + off
+        cand = ite(cand >= NPROC, cand - NPROC, cand)
+        runnable = _select(s.state, cand, NPROC) == PROC_RUN
+        next_pid = ite(runnable, cand, next_pid)
+    return next_pid
+
+
+def spec_yield(s):
+    """Switch to the next runnable process (registers travel with the
+    per-process banks; nothing else changes)."""
+    out = s.copy()
+    out.current = spec_next_runnable(s)
+    return out
+
+
+def spec_invalid(s):
+    """Unknown monitor call: a0' := -1."""
+    out = s.copy()
+    out.regs = _set_reg(s.regs, s.current, A0, bv_val(-1, XLEN))
+    return out

@@ -1,0 +1,35 @@
+"""The Serval framework core (Figure 1, middle box).
+
+Specification library, symbolic optimizations, and support for
+verifying systems code: the lifting engine, the memory model, binary
+images, refinement, safety, and noninterference.
+"""
+
+from .engine import EngineOptions, Interpreter, Paths, run_interpreter
+from .errors import (
+    EngineFuelExhausted,
+    MemoryModelError,
+    ServalError,
+    SpecificationError,
+    UnconstrainedPc,
+)
+from .image import Image, Symbol, build_memory
+from .memory import Memory, MemoryOptions, MCell, MStruct, MUniform, Region
+from .noninterference import (
+    Action,
+    NIPolicy,
+    prove_local_respect,
+    prove_nickel_ni,
+    prove_step_consistency,
+)
+from .safety import (
+    count_where,
+    prove_invariant_step,
+    prove_one_safety,
+    prove_two_safety,
+    reference_count_consistent,
+)
+from .spec import Refinement, SpecStruct, spec_struct, theorem
+from .symopt import SymOptConfig, concretize, rewrite_with_invariant, split_cases, split_cases_value
+
+__all__ = [name for name in dir() if not name.startswith("_")]

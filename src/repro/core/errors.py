@@ -1,0 +1,37 @@
+"""Exception types for the Serval core framework."""
+
+__all__ = [
+    "ServalError",
+    "UnconstrainedPc",
+    "EngineFuelExhausted",
+    "MemoryModelError",
+    "SpecificationError",
+]
+
+
+class ServalError(Exception):
+    """Base class for framework errors."""
+
+
+class UnconstrainedPc(ServalError):
+    """The program counter is an opaque symbolic value (§4).
+
+    ``split_pc`` cannot apply; in real systems this usually indicates
+    a security bug: a jump to an unchecked, untrusted address.
+    """
+
+
+class EngineFuelExhausted(ServalError):
+    """Symbolic evaluation did not terminate within the step budget.
+
+    Serval requires finite interfaces (§3.5): implementations must be
+    free of unbounded loops.
+    """
+
+
+class MemoryModelError(ServalError):
+    """A memory access could not be resolved to a block/offset."""
+
+
+class SpecificationError(ServalError):
+    """A specification input (AF, RI, functional spec) is malformed."""

@@ -1,0 +1,115 @@
+"""Binary images and symbol tables (§3.4).
+
+The paper's verifiers consume binary images: they extract top-level
+memory blocks from symbol tables (via objdump) and construct memory
+representations from debugging information, validating the extraction
+(disjointness, alignment) rather than trusting the tools.  Our
+assembler/linker substitute produces :class:`Image` objects carrying
+the same information; :func:`build_memory` performs the validated
+extraction into the memory model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import MemoryModelError
+from .memory import Block, MCell, Memory, MemoryOptions, MStruct, MUniform, Region
+
+__all__ = ["Symbol", "Image", "build_memory"]
+
+
+@dataclass
+class Symbol:
+    """A symbol-table entry, with an optional shape hint.
+
+    ``shape`` plays the role of DWARF debugging info: it tells the
+    extractor which block representation to build.  Shapes:
+
+      ("cell", nbytes)
+      ("array", count, elem_shape)
+      ("struct", [(field_name, shape), ...])
+    """
+
+    name: str
+    addr: int
+    size: int
+    kind: str = "object"  # "object" | "func"
+    shape: tuple | None = None
+
+
+@dataclass
+class Image:
+    """A loaded binary image: code words plus data symbols."""
+
+    base: int
+    word_size: int  # bytes per instruction slot
+    words: dict[int, int] = field(default_factory=dict)  # addr -> encoded insn
+    symbols: list[Symbol] = field(default_factory=list)
+    entry: int = 0
+
+    def symbol(self, name: str) -> Symbol:
+        for s in self.symbols:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def text_range(self) -> tuple[int, int]:
+        if not self.words:
+            return (self.base, self.base)
+        addrs = sorted(self.words)
+        return (addrs[0], addrs[-1] + self.word_size)
+
+
+def _block_of_shape(shape: tuple, name: str, symbolic: bool) -> Block:
+    kind = shape[0]
+    if kind == "cell":
+        if symbolic:
+            from ..sym import fresh_bv
+
+            return MCell(shape[1], fresh_bv(name, shape[1] * 8))
+        return MCell(shape[1])
+    if kind == "array":
+        _, count, elem = shape
+        return MUniform([_block_of_shape(elem, f"{name}[{i}]", symbolic) for i in range(count)])
+    if kind == "struct":
+        return MStruct(
+            [(fname, _block_of_shape(s, f"{name}.{fname}", symbolic)) for fname, s in shape[1]]
+        )
+    raise MemoryModelError(f"unknown shape {shape!r}")
+
+
+def build_memory(
+    image: Image,
+    opts: MemoryOptions | None = None,
+    addr_width: int = 32,
+    extra_regions: list[Region] | None = None,
+    symbolic: bool = True,
+) -> Memory:
+    """Extract data symbols into a validated :class:`Memory` (§3.4).
+
+    Performs the validity checks the paper describes so the extraction
+    need not be trusted: block sizes must match symbol sizes, and
+    regions must be disjoint (checked by ``Memory``) and aligned to
+    their access width.
+
+    With ``symbolic=True`` (the default), every cell starts with a
+    fresh symbolic value — the architecturally-unknown memory contents
+    a trap handler sees (§3.4).  Boot-code verification passes
+    ``symbolic=False`` for zeroed reset state.
+    """
+    regions = list(extra_regions or [])
+    for sym in image.symbols:
+        if sym.kind != "object":
+            continue
+        shape = sym.shape or ("array", max(1, sym.size // 4), ("cell", 4))
+        block = _block_of_shape(shape, sym.name, symbolic)
+        if block.size() != sym.size:
+            raise MemoryModelError(
+                f"symbol {sym.name}: shape size {block.size()} != symbol size {sym.size}"
+            )
+        if sym.addr % 4 != 0:
+            raise MemoryModelError(f"symbol {sym.name}: misaligned base {sym.addr:#x}")
+        regions.append(Region(sym.name, sym.addr, block))
+    return Memory(regions, opts, addr_width)

@@ -1,0 +1,181 @@
+"""Noninterference specifications (§3.3, §6.2, §6.3).
+
+The paper proves three kinds of noninterference over *specification*
+states:
+
+  * **Step consistency** (Goguen-Meseguer / Rushby): an observer's
+    view of the state determines its view after any action it can
+    see.  CertiKOS decomposes its big-step property into three
+    small-step properties (§6.2); those are expressed directly with
+    :func:`prove_step_consistency` and friends.
+
+  * **Nickel-style intransitive noninterference** (Sigurbjarnarson et
+    al., OSDI'18): a policy ``flows_to`` over domains plus unwinding
+    conditions (weak step consistency + local respect).  This is the
+    specification both ported monitors prove, and the one that caught
+    the PID covert channel in ``spawn`` (§6.2).
+
+Actions are finitized: callers enumerate concrete operations, each
+carrying symbolic arguments, so every proof stays one solver query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..sym import ProofResult, SymBool, new_context, sym_true, verify_vcs
+from .spec import SpecStruct
+
+__all__ = ["Action", "prove_step_consistency", "prove_local_respect", "NIPolicy", "prove_nickel_ni"]
+
+
+@dataclass
+class Action:
+    """A finitized specification action.
+
+    ``apply(state, args...) -> state`` is the functional spec of one
+    operation; ``domain(state, args...)`` names the security domain
+    performing it (often the current process/enclave).
+    """
+
+    name: str
+    apply: Callable[..., Any]
+    make_args: Callable[[str], tuple] = lambda prefix: ()
+    domain: Callable[..., Any] | None = None
+
+
+def prove_step_consistency(
+    name: str,
+    action: Action,
+    state_type: type[SpecStruct],
+    equiv: Callable[[Any, Any, Any], SymBool],
+    observer_values: list,
+    assumptions: Callable[[Any, Any], SymBool] | None = None,
+    max_conflicts: int | None = None,
+    timeout_s: float | None = None,
+) -> ProofResult:
+    """Step consistency for one action, for every observer:
+    ``s1 ~u s2  =>  step(s1, a) ~u step(s2, a)`` (§3.3).
+    """
+    with new_context() as ctx:
+        s1 = state_type.fresh(f"{name}.s1")
+        s2 = state_type.fresh(f"{name}.s2")
+        args = action.make_args(name)
+        t1 = action.apply(s1, *args)
+        t2 = action.apply(s2, *args)
+        assume = sym_true()
+        if assumptions is not None:
+            assume = assume & assumptions(s1, s2)
+        for u in observer_values:
+            pre = equiv(u, s1, s2)
+            post = equiv(u, t1, t2)
+            ctx.assert_prop(
+                (assume & pre).implies(post), f"{name}: step consistency for observer {u}"
+            )
+        return verify_vcs(ctx, max_conflicts=max_conflicts, timeout_s=timeout_s)
+
+
+def prove_local_respect(
+    name: str,
+    action: Action,
+    state_type: type[SpecStruct],
+    equiv: Callable[[Any, Any, Any], SymBool],
+    observer_values: list,
+    unaffected: Callable[[Any, Any, tuple], SymBool],
+    assumptions: Callable[[Any], SymBool] | None = None,
+    max_conflicts: int | None = None,
+    timeout_s: float | None = None,
+) -> ProofResult:
+    """Local respect: actions invisible to ``u`` leave ``u``'s view
+    unchanged: ``unaffected(u, s, args) => s ~u step(s, a)``."""
+    with new_context() as ctx:
+        s = state_type.fresh(f"{name}.s")
+        args = action.make_args(name)
+        t = action.apply(s, *args)
+        assume = sym_true()
+        if assumptions is not None:
+            assume = assume & assumptions(s)
+        for u in observer_values:
+            cond = assume & unaffected(u, s, args)
+            ctx.assert_prop(cond.implies(equiv(u, s, t)), f"{name}: local respect for observer {u}")
+        return verify_vcs(ctx, max_conflicts=max_conflicts, timeout_s=timeout_s)
+
+
+@dataclass
+class NIPolicy:
+    """A Nickel-style information-flow policy over finite domains.
+
+    ``domains`` are concrete labels; ``flows_to(d1, d2, s)`` says
+    whether information may flow from ``d1`` to ``d2`` in state ``s``
+    (intransitive: reachability is *not* implied).  ``dom(action_name,
+    s, args)`` maps an action in a state to its acting domain;
+    ``equiv(u, s1, s2)`` is per-domain observational equivalence.
+    """
+
+    domains: list
+    flows_to: Callable[[Any, Any, Any], SymBool]
+    dom: Callable[[str, Any, tuple], Any]
+    equiv: Callable[[Any, Any, Any], SymBool]
+    state_invariant: Callable[[Any], SymBool] | None = None
+
+
+def prove_nickel_ni(
+    policy: NIPolicy,
+    actions: list[Action],
+    state_type: type[SpecStruct],
+    max_conflicts: int | None = None,
+    timeout_s: float | None = None,
+) -> dict[str, ProofResult]:
+    """Prove Nickel's unwinding conditions for every action/observer.
+
+    For each action ``a`` and observer domain ``u``:
+
+      weak step consistency:
+        s1 ~u s2 /\\ s1 ~dom(a,s1) s2  =>  step(s1,a) ~u step(s2,a)
+      local respect:
+        not flows_to(dom(a,s), u, s)  =>  s ~u step(s,a)
+
+    Together (with domain consistency, which holds by construction
+    for state-independent ``dom``) these imply intransitive NI, the
+    specification that exposed the PID covert channel (§6.2).
+    """
+    results: dict[str, ProofResult] = {}
+    for action in actions:
+        with new_context() as ctx:
+            s1 = state_type.fresh(f"ni.{action.name}.s1")
+            s2 = state_type.fresh(f"ni.{action.name}.s2")
+            args = action.make_args(f"ni.{action.name}")
+            t1 = action.apply(s1, *args)
+            t2 = action.apply(s2, *args)
+            inv = sym_true()
+            if policy.state_invariant is not None:
+                inv = policy.state_invariant(s1) & policy.state_invariant(s2)
+            acting = policy.dom(action.name, s1, args)
+            for u in policy.domains:
+                wsc_pre = inv & policy.equiv(u, s1, s2) & policy.equiv(acting, s1, s2)
+                ctx.assert_prop(
+                    wsc_pre.implies(policy.equiv(u, t1, t2)),
+                    f"{action.name}: weak step consistency for {u}",
+                )
+            results[f"{action.name}.wsc"] = verify_vcs(
+                ctx, max_conflicts=max_conflicts, timeout_s=timeout_s
+            )
+        with new_context() as ctx:
+            s = state_type.fresh(f"ni.{action.name}.s")
+            args = action.make_args(f"ni.{action.name}.lr")
+            t = action.apply(s, *args)
+            inv = sym_true()
+            if policy.state_invariant is not None:
+                inv = policy.state_invariant(s)
+            acting = policy.dom(action.name, s, args)
+            for u in policy.domains:
+                no_flow = ~policy.flows_to(acting, u, s)
+                ctx.assert_prop(
+                    (inv & no_flow).implies(policy.equiv(u, s, t)),
+                    f"{action.name}: local respect for {u}",
+                )
+            results[f"{action.name}.lr"] = verify_vcs(
+                ctx, max_conflicts=max_conflicts, timeout_s=timeout_s
+            )
+    return results

@@ -1,0 +1,18 @@
+"""Keystone case study (§7): spec, safety properties, and UB bugs."""
+
+from .impl import build_module
+from .safety import prove_enclave_independence, prove_pmp_sufficient
+from .spec import (
+    HOST,
+    NENC,
+    KeystoneState,
+    spec_create,
+    spec_destroy,
+    spec_exit,
+    spec_run,
+    spec_stop,
+    state_invariant,
+)
+from .verify import KEYSTONE_BUG_IDS, UbFinding, scan_for_ub
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,153 @@
+"""A Keystone-monitor implementation at the LLVM level, with the two
+undefined-behaviour bugs the paper found (§7).
+
+"We also ran the Serval LLVM verifier on the Keystone implementation
+and found two undefined-behavior bugs, oversized shifting and buffer
+overflow, both on the paths of three monitor calls."
+
+``build_module(bugs={...})`` builds the IR; the buggy variants:
+
+  * ``oversized-shift`` -- the PMP NAPOT mask helper computes
+    ``(1 << log2size) - 1`` with an untrusted log2size that can reach
+    the operand width (UB in C/LLVM).  The helper sits on the paths of
+    create/run/stop, so all three calls are affected.
+  * ``buffer-overflow`` -- the enclave-table index is dereferenced
+    before it is bounds-checked (again shared by the three calls).
+
+The fixed variant clamps the shift and checks the index first; the
+LLVM verifier proves it UB-free.
+"""
+
+from __future__ import annotations
+
+from ..llvm.ir import (
+    Bin,
+    Block,
+    Br,
+    CondBr,
+    Const,
+    Function,
+    Gep,
+    GlobalRef,
+    Icmp,
+    Load,
+    Local,
+    Module,
+    Param,
+    Ret,
+    Store,
+)
+from .spec import NENC
+
+__all__ = ["build_module", "ENCLAVES_ADDR", "DATA_SYMBOLS"]
+
+W = 32
+ENCLAVES_ADDR = 0x0002_0000
+ENC_STRIDE = 12  # {status, region, measure}
+
+DATA_SYMBOLS = [
+    (
+        "enclaves",
+        ENCLAVES_ADDR,
+        NENC * ENC_STRIDE,
+        (
+            "array",
+            NENC,
+            (
+                "struct",
+                [("status", ("cell", 4)), ("region", ("cell", 4)), ("measure", ("cell", 4))],
+            ),
+        ),
+    ),
+]
+
+
+def _napot_mask_blocks(bugs: set[str], next_label: str) -> list[Block]:
+    """Compute ``mask = (1 << log2size) - 1`` from Param(1).
+
+    The buggy version shifts by the untrusted value directly; the
+    fixed version clamps it to 30 first.
+    """
+    if "oversized-shift" in bugs:
+        compute = Block(
+            "mask",
+            [
+                # BUG: log2size comes straight from the caller; a value
+                # >= 32 makes the shift UB.
+                Bin("one_shift", "shl", Const(1, W), Param(1)),
+                Bin("mask", "sub", Local("one_shift"), Const(1, W)),
+            ],
+            Br(next_label),
+        )
+        return [compute]
+    clamp = Block(
+        "mask",
+        [Icmp("log_ok", "ult", Param(1), Const(31, W))],
+        CondBr(Local("log_ok"), "mask_do", "fail"),
+    )
+    compute = Block(
+        "mask_do",
+        [
+            Bin("one_shift", "shl", Const(1, W), Param(1)),
+            Bin("mask", "sub", Local("one_shift"), Const(1, W)),
+        ],
+        Br(next_label),
+    )
+    return [clamp, compute]
+
+
+def _monitor_call(name: str, new_status: int, bugs: set[str]) -> Function:
+    """One of create/run/stop: compute the PMP mask for the enclave's
+    region, then update the enclave's slot.
+
+    Params: (eid, log2size, payload).
+    """
+    blocks: list[Block] = []
+
+    if "buffer-overflow" in bugs:
+        # BUG: dereference enclaves[eid] before checking eid < NENC.
+        entry = Block(
+            "entry",
+            [
+                Gep("slot", GlobalRef("enclaves"), Param(0), ENC_STRIDE),
+                Load("old_status", Local("slot"), 4),
+                Icmp("eid_ok", "ult", Param(0), Const(NENC, W)),
+            ],
+            CondBr(Local("eid_ok"), "mask", "fail"),
+        )
+    else:
+        entry = Block(
+            "entry",
+            [Icmp("eid_ok", "ult", Param(0), Const(NENC, W))],
+            CondBr(Local("eid_ok"), "mask", "fail"),
+        )
+    blocks.append(entry)
+    blocks += _napot_mask_blocks(bugs, "update")
+
+    update = Block(
+        "update",
+        [
+            Gep("slot2", GlobalRef("enclaves"), Param(0), ENC_STRIDE),
+            Store(Local("slot2"), Const(new_status, W)),
+            Gep("region_p", GlobalRef("enclaves"), Param(0), ENC_STRIDE, offset=4),
+            Store(Local("region_p"), Local("mask")),
+            Gep("measure_p", GlobalRef("enclaves"), Param(0), ENC_STRIDE, offset=8),
+            Store(Local("measure_p"), Param(2)),
+        ],
+        Ret(Const(0, W)),
+    )
+    fail = Block("fail", [], Ret(Const(0xFFFFFFFF, W)))
+    blocks += [update, fail]
+    return Function(name, 3, {b.label: b for b in blocks}, entry="entry")
+
+
+def build_module(bugs: set[str] | frozenset[str] = frozenset()) -> Module:
+    bugs = set(bugs)
+    return Module(
+        functions={
+            "sbi_create_enclave": _monitor_call("sbi_create_enclave", 1, bugs),
+            "sbi_run_enclave": _monitor_call("sbi_run_enclave", 2, bugs),
+            "sbi_stop_enclave": _monitor_call("sbi_stop_enclave", 3, bugs),
+        },
+        data=list(DATA_SYMBOLS),
+    )

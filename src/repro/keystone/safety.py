@@ -1,0 +1,97 @@
+"""Keystone safety properties and the two interface findings (§7).
+
+1. "Keystone allowed an enclave to create more enclaves within itself
+   [which] violates the safety property that an enclave's state
+   should not be influenced by other enclaves, which we proved over
+   our specification" — :func:`prove_enclave_independence` proves the
+   property for the fixed spec and produces a counterexample for the
+   nested-create variant.
+
+2. "Keystone required the OS to create a page table for each enclave
+   and performed checks that the page table was well-formed; our
+   specification does not have this check, as PMP alone is sufficient
+   to guarantee isolation" — :func:`prove_pmp_sufficient` shows that
+   disjoint per-enclave PMP regions isolate enclaves with *no*
+   hypothesis about page tables: any translated address, whatever the
+   page tables contain, is subject to the PMP check.
+"""
+
+from __future__ import annotations
+
+from ..riscv.pmp import PMP_A_NAPOT, PMP_A_SHIFT, PMP_R, PMP_W, PMP_X, napot_region, pmp_check
+from ..sym import ProofResult, SymBool, bv_val, fresh_bv, new_context, sym_true, verify_vcs
+from .spec import HOST, NENC, KeystoneState, spec_create, state_invariant
+
+__all__ = ["prove_enclave_independence", "prove_pmp_sufficient"]
+
+
+def prove_enclave_independence(allow_nested_create: bool = False) -> ProofResult:
+    """An action by domain d leaves every other enclave's slot
+    unchanged (the per-enclave state is only host-managed).
+
+    For ``create`` specifically: if the caller is an enclave (cur !=
+    HOST), no enclave slot may change.  The fixed spec proves this;
+    the nested-create variant yields a counterexample in which enclave
+    ``cur`` rewrites a free slot — the flaw reported to Keystone.
+    """
+    with new_context() as ctx:
+        s = KeystoneState.fresh("ki.s")
+        eid = fresh_bv("ki.eid", 32)
+        region = fresh_bv("ki.region", 32)
+        payload = fresh_bv("ki.payload", 32)
+        t = spec_create(s, eid, region, payload, allow_nested_create=allow_nested_create)
+        caller_is_enclave = s.cur != HOST
+        unchanged = sym_true()
+        for i in range(NENC):
+            unchanged = (
+                unchanged
+                & (t.status[i] == s.status[i])
+                & (t.region[i] == s.region[i])
+                & (t.measure[i] == s.measure[i])
+            )
+        ctx.assert_prop(
+            (state_invariant(s) & caller_is_enclave).implies(unchanged),
+            "enclave cannot influence other enclaves' state via create",
+        )
+        return verify_vcs(ctx)
+
+
+def prove_pmp_sufficient(xlen: int = 64) -> ProofResult:
+    """PMP alone isolates enclaves: with per-enclave NAPOT regions and
+    a deny-by-default configuration, an access that the PMP allows for
+    the running enclave can never land in another enclave's region —
+    for *any* virtual-to-physical translation the page tables may
+    produce.  Hence the monitor need not validate page tables."""
+    # Three disjoint 4 KiB enclave regions.
+    bases = [0x10000, 0x20000, 0x30000]
+    size = 0x1000
+    with new_context() as ctx:
+        csrs = {name: bv_val(0, xlen) for name in ["pmpcfg0"] + [f"pmpaddr{i}" for i in range(8)]}
+        cfg = 0
+        for i, base in enumerate(bases):
+            cfg |= ((PMP_R | PMP_W | PMP_X) | (PMP_A_NAPOT << PMP_A_SHIFT)) << (8 * i)
+            csrs[f"pmpaddr{i}"] = bv_val(napot_region(base, size), xlen)
+        csrs["pmpcfg0"] = bv_val(cfg, xlen)
+
+        # The monitor masks off other enclaves' regions while enclave 0
+        # runs: regions 1, 2 get their permissions cleared.
+        run0 = dict(csrs)
+        cfg_run0 = (
+            ((PMP_R | PMP_W | PMP_X) | (PMP_A_NAPOT << PMP_A_SHIFT))
+            | ((PMP_A_NAPOT << PMP_A_SHIFT) << 8)
+            | ((PMP_A_NAPOT << PMP_A_SHIFT) << 16)
+        )
+        run0["pmpcfg0"] = bv_val(cfg_run0, xlen)
+
+        # paddr is *whatever the page walk produced* — fully symbolic,
+        # i.e. no page-table well-formedness is assumed.
+        paddr = fresh_bv("ki.paddr", xlen)
+        for access in ("r", "w", "x"):
+            allowed = pmp_check(run0, paddr, access)
+            for other_base in bases[1:]:
+                inside_other = (paddr >= other_base) & (paddr < other_base + size)
+                ctx.assert_prop(
+                    ~(allowed & inside_other),
+                    f"pmp {access}-access cannot reach another enclave's region",
+                )
+        return verify_vcs(ctx)

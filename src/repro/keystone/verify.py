@@ -1,0 +1,62 @@
+"""Keystone verification driver: UB scanning + interface analysis (§7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.image import Image, Symbol, build_memory
+from ..llvm.interp import run_function
+from ..sym import ProofResult, new_context, verify_vcs
+from .impl import DATA_SYMBOLS, build_module
+
+__all__ = ["UbFinding", "scan_for_ub", "KEYSTONE_BUG_IDS"]
+
+KEYSTONE_BUG_IDS = ["oversized-shift", "buffer-overflow"]
+
+
+@dataclass
+class UbFinding:
+    function: str
+    message: str
+    counterexample: object
+
+    def __repr__(self) -> str:
+        return f"UbFinding({self.function}: {self.message})"
+
+
+def _memory():
+    image = Image(
+        base=0,
+        word_size=4,
+        words={},
+        symbols=[Symbol(name, addr, size, "object", shape) for name, addr, size, shape in DATA_SYMBOLS],
+    )
+    return build_memory(image, addr_width=32)
+
+
+def scan_for_ub(bugs: set[str] | frozenset[str] = frozenset()) -> list[UbFinding]:
+    """Run the LLVM verifier's UB checks over every monitor call.
+
+    Returns findings (empty for the fixed monitor) — the workflow that
+    surfaced the two Keystone bugs, "both on the paths of three
+    monitor calls".
+    """
+    from ..sym.solverapi import prove
+
+    module = build_module(bugs)
+    findings: list[UbFinding] = []
+    for name, func in module.functions.items():
+        with new_context() as ctx:
+            run_function(func, mem=_memory())
+            vcs = list(ctx.vcs)
+        seen_messages = set()
+        for vc in vcs:
+            if vc.message in seen_messages:
+                continue
+            from ..sym import SymBool
+
+            result = prove(SymBool(vc.formula))
+            if not result.proved:
+                seen_messages.add(vc.message)
+                findings.append(UbFinding(name, vc.message, result.counterexample))
+    return findings

@@ -1,0 +1,25 @@
+"""The LLVM verifier (§5): Hyperkernel's IR subset, lifted."""
+
+from .interp import LlvmInterp, LlvmState, run_function
+from .ir import (
+    Bin,
+    Block,
+    Br,
+    Cast,
+    CondBr,
+    Const,
+    Function,
+    Gep,
+    GlobalRef,
+    Icmp,
+    Load,
+    Local,
+    Module,
+    Param,
+    Ret,
+    Select,
+    Store,
+    Value,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,188 @@
+"""A small LLVM-like IR (§5: "the same subset of LLVM as Hyperkernel").
+
+Functions are graphs of basic blocks over typed bitvector values.
+Unlike LLVM proper the IR is not SSA: instructions assign to mutable
+locals (the pre-mem2reg form), which keeps phi nodes out of the
+verifier without changing what can be expressed for finite code.
+
+Undefined behaviour is explicit in the semantics: oversized shifts,
+division by zero, ``nsw``/``nuw`` overflow, and out-of-bounds memory
+accesses all raise ``bug_on`` conditions, mirroring how Serval's LLVM
+verifier "reuses checks inserted by Clang's UndefinedBehaviorSanitizer"
+(§3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Value",
+    "Const",
+    "Local",
+    "Param",
+    "GlobalRef",
+    "Bin",
+    "Icmp",
+    "Cast",
+    "Select",
+    "Load",
+    "Store",
+    "Gep",
+    "Br",
+    "CondBr",
+    "Ret",
+    "Block",
+    "Function",
+    "Module",
+]
+
+
+class Value:
+    """Base class for operands."""
+
+
+@dataclass(frozen=True)
+class Const(Value):
+    value: int
+    width: int = 32
+
+
+@dataclass(frozen=True)
+class Local(Value):
+    name: str
+
+
+@dataclass(frozen=True)
+class Param(Value):
+    index: int
+
+
+@dataclass(frozen=True)
+class GlobalRef(Value):
+    """The address of a global (a region base)."""
+
+    name: str
+
+
+class Insn:
+    """Base class for instructions (each assigns to ``dst`` if any)."""
+
+
+@dataclass(frozen=True)
+class Bin(Insn):
+    """dst = op a, b.  op in add/sub/mul/udiv/sdiv/urem/srem/and/or/
+    xor/shl/lshr/ashr; flags may include "nsw"/"nuw" (overflow UB) and
+    "exact"."""
+
+    dst: str
+    op: str
+    a: Value
+    b: Value
+    flags: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Icmp(Insn):
+    """dst = icmp pred a, b (result width 1)."""
+
+    dst: str
+    pred: str  # eq ne ult ule ugt uge slt sle sgt sge
+    a: Value
+    b: Value
+
+
+@dataclass(frozen=True)
+class Cast(Insn):
+    """dst = zext/sext/trunc a to width."""
+
+    dst: str
+    kind: str
+    a: Value
+    width: int
+
+
+@dataclass(frozen=True)
+class Select(Insn):
+    dst: str
+    cond: Value
+    a: Value
+    b: Value
+
+
+@dataclass(frozen=True)
+class Gep(Insn):
+    """dst = getelementptr base, index, byte_offset.
+
+    ``base`` must be a GlobalRef or a pointer-typed local; the result
+    is ``base + index*stride + byte_offset`` — the §4 symbolic-address
+    shape the memory model concretizes.
+    """
+
+    dst: str
+    base: Value
+    index: Value
+    stride: int
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class Load(Insn):
+    dst: str
+    addr: Value
+    nbytes: int = 4
+    signed: bool = False
+    width: int = 32
+
+
+@dataclass(frozen=True)
+class Store(Insn):
+    addr: Value
+    value: Value
+    nbytes: int = 4
+
+
+class Terminator:
+    pass
+
+
+@dataclass(frozen=True)
+class Br(Terminator):
+    target: str
+
+
+@dataclass(frozen=True)
+class CondBr(Terminator):
+    cond: Value
+    then: str
+    els: str
+
+
+@dataclass(frozen=True)
+class Ret(Terminator):
+    value: Value | None = None
+
+
+@dataclass
+class Block:
+    label: str
+    insns: list[Insn]
+    terminator: Terminator
+
+
+@dataclass
+class Function:
+    name: str
+    num_params: int
+    blocks: dict[str, Block]
+    entry: str = "entry"
+
+    def block_order(self) -> list[str]:
+        return list(self.blocks.keys())
+
+
+@dataclass
+class Module:
+    functions: dict[str, Function]
+    # data symbols: (name, addr, size, shape)
+    data: list[tuple] = field(default_factory=list)

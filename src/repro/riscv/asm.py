@@ -1,0 +1,238 @@
+"""A RISC-V assembler and linker substitute (gcc/binutils stand-in).
+
+Builds binary :class:`Image` objects from programmatic assembly with
+labels, pseudo-instructions (li/la/mv/j/call/ret/...), and data-symbol
+declarations.  The resulting image is what the verifier consumes —
+and because the verifier validates decoding against its own encoder
+(§3.4), this assembler is *not* in the trusted computing base.
+"""
+
+from __future__ import annotations
+
+from ..core.image import Image, Symbol
+from .encode import encode
+from .insn import CSRS, Insn, reg_num
+
+__all__ = ["Assembler", "AsmError"]
+
+
+class AsmError(Exception):
+    pass
+
+
+class Assembler:
+    """Incremental assembly into a text section at a base address.
+
+    Usage::
+
+        asm = Assembler(base=0x80000000, xlen=64)
+        asm.label("entry")
+        asm.addi("sp", "sp", -16)
+        asm.bnez("a0", "slow_path")
+        ...
+        image = asm.assemble()
+    """
+
+    def __init__(self, base: int = 0x8000_0000, xlen: int = 64):
+        self.base = base
+        self.xlen = xlen
+        self._insns: list[Insn | tuple] = []  # Insn or ("label-use", ...)
+        self._labels: dict[str, int] = {}  # label -> instruction index
+        self._symbols: list[Symbol] = []
+        self.entry_label: str | None = None
+
+    # -- labels and symbols ------------------------------------------------------
+
+    def label(self, name: str) -> None:
+        if name in self._labels:
+            raise AsmError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._insns)
+
+    def entry(self, name: str) -> None:
+        self.entry_label = name
+
+    def data_symbol(self, name: str, addr: int, size: int, shape: tuple | None = None) -> None:
+        """Declare a data object (the symbol table + debug-info stand-in)."""
+        self._symbols.append(Symbol(name, addr, size, "object", shape))
+
+    def addr_of(self, label: str) -> int:
+        """Address of a label after assembly (labels resolve eagerly)."""
+        if label not in self._labels:
+            raise AsmError(f"undefined label {label!r}")
+        return self.base + 4 * self._labels[label]
+
+    # -- instruction emission -------------------------------------------------------
+
+    def emit(self, name: str, rd=0, rs1=0, rs2=0, imm=0) -> None:
+        self._insns.append(Insn(name, rd=reg_num(rd), rs1=reg_num(rs1), rs2=reg_num(rs2), imm=imm))
+
+    def __getattr__(self, name: str):
+        """Direct instruction emission: ``asm.add('a0','a1','a2')``."""
+        from .insn import SPEC
+
+        base = name.replace("_", ".")
+        if base not in SPEC:
+            raise AttributeError(name)
+        spec = SPEC[base]
+
+        def emitter(*args):
+            if spec.fmt == "R":
+                rd, rs1, rs2 = args
+                self.emit(base, rd=rd, rs1=rs1, rs2=rs2)
+            elif spec.fmt in ("I", "SHIFT"):
+                if base in ("fence", "fence.i"):
+                    self.emit(base)
+                elif base in ("lb", "lbu", "lh", "lhu", "lw", "lwu", "ld"):
+                    rd, imm, rs1 = args  # load rd, imm(rs1)
+                    self.emit(base, rd=rd, rs1=rs1, imm=imm)
+                else:
+                    rd, rs1, imm = args
+                    self.emit(base, rd=rd, rs1=rs1, imm=imm)
+            elif spec.fmt == "S":
+                rs2, imm, rs1 = args
+                self.emit(base, rs1=rs1, rs2=rs2, imm=imm)
+            elif spec.fmt == "B":
+                rs1, rs2, target = args
+                self._emit_branch(base, rs1, rs2, target)
+            elif spec.fmt == "U":
+                rd, imm = args
+                self.emit(base, rd=rd, imm=imm)
+            elif spec.fmt == "J":
+                rd, target = args
+                self._emit_jump(rd, target)
+            elif spec.fmt == "CSR":
+                rd, csr, rs1 = args
+                self.emit(base, rd=rd, rs1=rs1, imm=self._csr(csr))
+            elif spec.fmt == "CSRI":
+                rd, csr, zimm = args
+                self.emit(base, rd=rd, rs1=zimm, imm=self._csr(csr))
+            elif spec.fmt == "SYS":
+                self.emit(base)
+            else:
+                raise AsmError(f"cannot emit {base}")
+
+        return emitter
+
+    def _csr(self, csr) -> int:
+        if isinstance(csr, str):
+            return CSRS[csr]
+        return csr
+
+    def _emit_branch(self, name: str, rs1, rs2, target) -> None:
+        index = len(self._insns)
+        if isinstance(target, str):
+            self._insns.append(("branch", name, reg_num(rs1), reg_num(rs2), target, index))
+        else:
+            self.emit(name, rs1=rs1, rs2=rs2, imm=target)
+
+    def _emit_jump(self, rd, target) -> None:
+        index = len(self._insns)
+        if isinstance(target, str):
+            self._insns.append(("jump", reg_num(rd), target, index))
+        else:
+            self.emit("jal", rd=rd, imm=target)
+
+    # -- pseudo-instructions -----------------------------------------------------------
+
+    def nop(self) -> None:
+        self.emit("addi")
+
+    def mv(self, rd, rs) -> None:
+        self.emit("addi", rd=rd, rs1=rs)
+
+    def not_(self, rd, rs) -> None:
+        self.emit("xori", rd=rd, rs1=rs, imm=-1)
+
+    def neg(self, rd, rs) -> None:
+        self.emit("sub", rd=rd, rs2=rs)
+
+    def seqz(self, rd, rs) -> None:
+        self.emit("sltiu", rd=rd, rs1=rs, imm=1)
+
+    def snez(self, rd, rs) -> None:
+        self.emit("sltu", rd=rd, rs2=rs)
+
+    def beqz(self, rs, target) -> None:
+        self._emit_branch("beq", rs, 0, target)
+
+    def bnez(self, rs, target) -> None:
+        self._emit_branch("bne", rs, 0, target)
+
+    def bgtu(self, rs1, rs2, target) -> None:
+        self._emit_branch("bltu", rs2, rs1, target)
+
+    def bleu(self, rs1, rs2, target) -> None:
+        self._emit_branch("bgeu", rs2, rs1, target)
+
+    def j(self, target) -> None:
+        self._emit_jump(0, target)
+
+    def call(self, target) -> None:
+        self._emit_jump(1, target)  # ra = x1
+
+    def ret(self) -> None:
+        self.emit("jalr", rd=0, rs1=1, imm=0)
+
+    def li(self, rd, value: int) -> None:
+        """Load immediate, expanding to lui+addi as needed."""
+        rd = reg_num(rd)
+        value_s = value
+        mask = (1 << self.xlen) - 1
+        value &= mask
+        signed = value - (1 << self.xlen) if value >> (self.xlen - 1) else value
+        if -2048 <= signed <= 2047:
+            self.emit("addi", rd=rd, imm=signed)
+            return
+        if self.xlen == 64 and not (-(1 << 31) <= signed < (1 << 31)):
+            raise AsmError(f"li: 64-bit constant {value_s:#x} not supported; use la/data")
+        low = signed & 0xFFF
+        if low >= 0x800:
+            low -= 0x1000
+        high = (signed - low) & 0xFFFFFFFF
+        self.emit("lui", rd=rd, imm=high)
+        if low != 0:
+            # RV64 needs addiw so the 32-bit intermediate is computed
+            # and then sign-extended (lui+addi would mis-handle values
+            # like 0x7fffffff whose lui part wraps negative).
+            self.emit("addiw" if self.xlen == 64 else "addi", rd=rd, rs1=rd, imm=low)
+
+    def la(self, rd, symbol_or_addr) -> None:
+        """Load an absolute address (data symbols live below 2 GiB)."""
+        if isinstance(symbol_or_addr, str):
+            for sym in self._symbols:
+                if sym.name == symbol_or_addr:
+                    self.li(rd, sym.addr)
+                    return
+            raise AsmError(f"unknown data symbol {symbol_or_addr!r}")
+        self.li(rd, symbol_or_addr)
+
+    # -- assembly ------------------------------------------------------------------------
+
+    def assemble(self) -> Image:
+        words: dict[int, int] = {}
+        resolved: list[Insn] = []
+        for item in self._insns:
+            if isinstance(item, Insn):
+                resolved.append(item)
+                continue
+            if item[0] == "branch":
+                _, name, rs1, rs2, label, index = item
+                offset = self._label_offset(label, index)
+                resolved.append(Insn(name, rs1=rs1, rs2=rs2, imm=offset))
+            elif item[0] == "jump":
+                _, rd, label, index = item
+                offset = self._label_offset(label, index)
+                resolved.append(Insn("jal", rd=rd, imm=offset))
+            else:
+                raise AsmError(f"bad pending item {item!r}")
+        for i, insn in enumerate(resolved):
+            words[self.base + 4 * i] = encode(insn, self.xlen)
+        entry = self.base
+        if self.entry_label is not None:
+            entry = self.base + 4 * self._labels[self.entry_label]
+        return Image(base=self.base, word_size=4, words=words, symbols=list(self._symbols), entry=entry)
+
+    def _label_offset(self, label: str, index: int) -> int:
+        if label not in self._labels:
+            raise AsmError(f"undefined label {label!r}")
+        return 4 * (self._labels[label] - index)

@@ -1,0 +1,93 @@
+"""RISC-V instruction encoder.
+
+§3.4: "it also implements an encoder, which is generally simpler and
+easier to audit than a decoder, and validates that the encoded bytes
+of each decoded instruction matches the original bytes in the binary
+image.  Doing so avoids the need to trust objdump, the assembler, or
+the linker."  The decoder-validation test in ``decode.py`` uses this
+encoder exactly that way.
+"""
+
+from __future__ import annotations
+
+from .insn import SPEC, SYS_FUNCT12, Insn
+
+__all__ = ["encode", "EncodeError"]
+
+
+class EncodeError(Exception):
+    pass
+
+
+def _check_range(name: str, value: int, bits: int, signed: bool) -> int:
+    if signed:
+        lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        lo, hi = 0, (1 << bits) - 1
+    if not lo <= value <= hi:
+        raise EncodeError(f"{name}: immediate {value} out of {bits}-bit range")
+    return value & ((1 << bits) - 1)
+
+
+def encode(insn: Insn, xlen: int = 64) -> int:
+    """Encode an instruction to its 32-bit word."""
+    spec = SPEC.get(insn.name)
+    if spec is None:
+        raise EncodeError(f"unknown instruction {insn.name!r}")
+    fmt, opcode = spec.fmt, spec.opcode
+    rd, rs1, rs2 = insn.rd, insn.rs1, insn.rs2
+
+    if fmt == "R":
+        return (
+            (spec.funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | opcode
+        )
+    if fmt == "I":
+        imm = _check_range(insn.name, insn.imm, 12, signed=True)
+        return (imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | opcode
+    if fmt == "SHIFT":
+        shamt_bits = 6 if (xlen == 64 and spec.opcode == 0b0010011) else 5
+        if not 0 <= insn.imm < (1 << shamt_bits):
+            raise EncodeError(f"{insn.name}: shamt {insn.imm} out of range")
+        return (
+            (spec.funct7 << 25) | (insn.imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | opcode
+        )
+    if fmt == "S":
+        imm = _check_range(insn.name, insn.imm, 12, signed=True)
+        hi, lo = imm >> 5, imm & 0x1F
+        return (hi << 25) | (rs2 << 20) | (rs1 << 15) | (spec.funct3 << 12) | (lo << 7) | opcode
+    if fmt == "B":
+        imm = _check_range(insn.name, insn.imm, 13, signed=True)
+        if imm & 1:
+            raise EncodeError(f"{insn.name}: branch offset must be even")
+        b12 = (imm >> 12) & 1
+        b11 = (imm >> 11) & 1
+        b10_5 = (imm >> 5) & 0x3F
+        b4_1 = (imm >> 1) & 0xF
+        return (
+            (b12 << 31) | (b10_5 << 25) | (rs2 << 20) | (rs1 << 15)
+            | (spec.funct3 << 12) | (b4_1 << 8) | (b11 << 7) | opcode
+        )
+    if fmt == "U":
+        imm = insn.imm
+        if imm & 0xFFF:
+            raise EncodeError(f"{insn.name}: U-immediate has low bits set")
+        return (imm & 0xFFFFF000) | (rd << 7) | opcode
+    if fmt == "J":
+        imm = _check_range(insn.name, insn.imm, 21, signed=True)
+        if imm & 1:
+            raise EncodeError(f"{insn.name}: jump offset must be even")
+        b20 = (imm >> 20) & 1
+        b19_12 = (imm >> 12) & 0xFF
+        b11 = (imm >> 11) & 1
+        b10_1 = (imm >> 1) & 0x3FF
+        return (b20 << 31) | (b10_1 << 21) | (b11 << 20) | (b19_12 << 12) | (rd << 7) | opcode
+    if fmt == "CSR":
+        return (insn.imm << 20) | (rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | opcode
+    if fmt == "CSRI":
+        # rs1 field holds the 5-bit zimm.
+        if not 0 <= insn.rs1 < 32:
+            raise EncodeError(f"{insn.name}: zimm {insn.rs1} out of range")
+        return (insn.imm << 20) | (insn.rs1 << 15) | (spec.funct3 << 12) | (rd << 7) | opcode
+    if fmt == "SYS":
+        return (SYS_FUNCT12[insn.name] << 20) | opcode
+    raise EncodeError(f"unknown format {fmt!r}")

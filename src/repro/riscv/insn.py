@@ -1,0 +1,226 @@
+"""RISC-V instruction definitions (RV32I/RV64I base, M, Zicsr, privileged).
+
+The verifier implements "the RV64I base integer instruction set and
+two extensions, 'M' for integer multiplication and division and
+'Zicsr' for control and status register instructions" (§5), plus the
+privileged instructions the security monitors need (ecall/mret/wfi).
+XLEN is a parameter: the same tables serve RV32 and RV64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Insn", "SPEC", "InsnSpec", "REG_NAMES", "REG_NUMBERS", "CSRS", "reg_num"]
+
+# ABI register names, x0..x31.
+REG_NAMES = (
+    "zero ra sp gp tp t0 t1 t2 s0 s1 a0 a1 a2 a3 a4 a5 a6 a7 "
+    "s2 s3 s4 s5 s6 s7 s8 s9 s10 s11 t3 t4 t5 t6"
+).split()
+REG_NUMBERS = {name: i for i, name in enumerate(REG_NAMES)}
+REG_NUMBERS["fp"] = 8
+
+
+def reg_num(reg) -> int:
+    if isinstance(reg, int):
+        if not 0 <= reg < 32:
+            raise ValueError(f"bad register number {reg}")
+        return reg
+    return REG_NUMBERS[reg]
+
+
+# CSR addresses (the subset the monitors and tests use).
+CSRS = {
+    "mstatus": 0x300,
+    "misa": 0x301,
+    "medeleg": 0x302,
+    "mideleg": 0x303,
+    "mie": 0x304,
+    "mtvec": 0x305,
+    "mcounteren": 0x306,
+    "mscratch": 0x340,
+    "mepc": 0x341,
+    "mcause": 0x342,
+    "mtval": 0x343,
+    "mip": 0x344,
+    "pmpcfg0": 0x3A0,
+    "pmpaddr0": 0x3B0,
+    "pmpaddr1": 0x3B1,
+    "pmpaddr2": 0x3B2,
+    "pmpaddr3": 0x3B3,
+    "pmpaddr4": 0x3B4,
+    "pmpaddr5": 0x3B5,
+    "pmpaddr6": 0x3B6,
+    "pmpaddr7": 0x3B7,
+    "mcycle": 0xB00,
+    "minstret": 0xB02,
+    "mhartid": 0xF14,
+    "satp": 0x180,
+}
+CSR_NAMES = {v: k for k, v in CSRS.items()}
+
+
+@dataclass(frozen=True)
+class InsnSpec:
+    """Static description of one instruction encoding."""
+
+    name: str
+    fmt: str  # R, I, S, B, U, J, SHIFT, CSR, CSRI, SYS
+    opcode: int
+    funct3: int | None = None
+    funct7: int | None = None
+
+
+def _r(name, opcode, f3, f7):
+    return InsnSpec(name, "R", opcode, f3, f7)
+
+
+def _i(name, opcode, f3):
+    return InsnSpec(name, "I", opcode, f3)
+
+
+def _sh(name, opcode, f3, f7):
+    return InsnSpec(name, "SHIFT", opcode, f3, f7)
+
+
+OP = 0b0110011
+OP_32 = 0b0111011
+OP_IMM = 0b0010011
+OP_IMM_32 = 0b0011011
+LOAD = 0b0000011
+STORE = 0b0100011
+BRANCH = 0b1100011
+JAL = 0b1101111
+JALR = 0b1100111
+LUI = 0b0110111
+AUIPC = 0b0010111
+SYSTEM = 0b1110011
+MISC_MEM = 0b0001111
+
+_SPECS = [
+    # RV32I register-register
+    _r("add", OP, 0b000, 0b0000000),
+    _r("sub", OP, 0b000, 0b0100000),
+    _r("sll", OP, 0b001, 0b0000000),
+    _r("slt", OP, 0b010, 0b0000000),
+    _r("sltu", OP, 0b011, 0b0000000),
+    _r("xor", OP, 0b100, 0b0000000),
+    _r("srl", OP, 0b101, 0b0000000),
+    _r("sra", OP, 0b101, 0b0100000),
+    _r("or", OP, 0b110, 0b0000000),
+    _r("and", OP, 0b111, 0b0000000),
+    # M extension
+    _r("mul", OP, 0b000, 0b0000001),
+    _r("mulh", OP, 0b001, 0b0000001),
+    _r("mulhsu", OP, 0b010, 0b0000001),
+    _r("mulhu", OP, 0b011, 0b0000001),
+    _r("div", OP, 0b100, 0b0000001),
+    _r("divu", OP, 0b101, 0b0000001),
+    _r("rem", OP, 0b110, 0b0000001),
+    _r("remu", OP, 0b111, 0b0000001),
+    # RV64 W forms
+    _r("addw", OP_32, 0b000, 0b0000000),
+    _r("subw", OP_32, 0b000, 0b0100000),
+    _r("sllw", OP_32, 0b001, 0b0000000),
+    _r("srlw", OP_32, 0b101, 0b0000000),
+    _r("sraw", OP_32, 0b101, 0b0100000),
+    _r("mulw", OP_32, 0b000, 0b0000001),
+    _r("divw", OP_32, 0b100, 0b0000001),
+    _r("divuw", OP_32, 0b101, 0b0000001),
+    _r("remw", OP_32, 0b110, 0b0000001),
+    _r("remuw", OP_32, 0b111, 0b0000001),
+    # immediates
+    _i("addi", OP_IMM, 0b000),
+    _i("slti", OP_IMM, 0b010),
+    _i("sltiu", OP_IMM, 0b011),
+    _i("xori", OP_IMM, 0b100),
+    _i("ori", OP_IMM, 0b110),
+    _i("andi", OP_IMM, 0b111),
+    _sh("slli", OP_IMM, 0b001, 0b0000000),
+    _sh("srli", OP_IMM, 0b101, 0b0000000),
+    _sh("srai", OP_IMM, 0b101, 0b0100000),
+    _i("addiw", OP_IMM_32, 0b000),
+    _sh("slliw", OP_IMM_32, 0b001, 0b0000000),
+    _sh("srliw", OP_IMM_32, 0b101, 0b0000000),
+    _sh("sraiw", OP_IMM_32, 0b101, 0b0100000),
+    # loads / stores
+    _i("lb", LOAD, 0b000),
+    _i("lh", LOAD, 0b001),
+    _i("lw", LOAD, 0b010),
+    _i("ld", LOAD, 0b011),
+    _i("lbu", LOAD, 0b100),
+    _i("lhu", LOAD, 0b101),
+    _i("lwu", LOAD, 0b110),
+    InsnSpec("sb", "S", STORE, 0b000),
+    InsnSpec("sh", "S", STORE, 0b001),
+    InsnSpec("sw", "S", STORE, 0b010),
+    InsnSpec("sd", "S", STORE, 0b011),
+    # control flow
+    InsnSpec("beq", "B", BRANCH, 0b000),
+    InsnSpec("bne", "B", BRANCH, 0b001),
+    InsnSpec("blt", "B", BRANCH, 0b100),
+    InsnSpec("bge", "B", BRANCH, 0b101),
+    InsnSpec("bltu", "B", BRANCH, 0b110),
+    InsnSpec("bgeu", "B", BRANCH, 0b111),
+    InsnSpec("jal", "J", JAL),
+    _i("jalr", JALR, 0b000),
+    InsnSpec("lui", "U", LUI),
+    InsnSpec("auipc", "U", AUIPC),
+    # Zicsr
+    InsnSpec("csrrw", "CSR", SYSTEM, 0b001),
+    InsnSpec("csrrs", "CSR", SYSTEM, 0b010),
+    InsnSpec("csrrc", "CSR", SYSTEM, 0b011),
+    InsnSpec("csrrwi", "CSRI", SYSTEM, 0b101),
+    InsnSpec("csrrsi", "CSRI", SYSTEM, 0b110),
+    InsnSpec("csrrci", "CSRI", SYSTEM, 0b111),
+    # privileged / system
+    InsnSpec("ecall", "SYS", SYSTEM, 0b000),
+    InsnSpec("ebreak", "SYS", SYSTEM, 0b000),
+    InsnSpec("mret", "SYS", SYSTEM, 0b000),
+    InsnSpec("wfi", "SYS", SYSTEM, 0b000),
+    InsnSpec("fence", "I", MISC_MEM, 0b000),
+    InsnSpec("fence.i", "I", MISC_MEM, 0b001),
+]
+
+SPEC: dict[str, InsnSpec] = {s.name: s for s in _SPECS}
+
+# funct12 values for SYS instructions.
+SYS_FUNCT12 = {"ecall": 0x000, "ebreak": 0x001, "mret": 0x302, "wfi": 0x105}
+FUNCT12_SYS = {v: k for k, v in SYS_FUNCT12.items()}
+
+
+@dataclass(frozen=True)
+class Insn:
+    """A decoded instruction.
+
+    ``imm`` is the sign-extended immediate as a Python int; for CSR
+    instructions it holds the CSR address; for shifts the shamt.
+    """
+
+    name: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __repr__(self) -> str:
+        spec = SPEC.get(self.name)
+        fmt = spec.fmt if spec else "?"
+        if fmt in ("SYS",):
+            return self.name
+        if fmt in ("CSR", "CSRI"):
+            csr = CSR_NAMES.get(self.imm, hex(self.imm))
+            src = REG_NAMES[self.rs1] if fmt == "CSR" else f"#{self.rs1}"
+            return f"{self.name} {REG_NAMES[self.rd]}, {csr}, {src}"
+        if fmt == "R":
+            return f"{self.name} {REG_NAMES[self.rd]}, {REG_NAMES[self.rs1]}, {REG_NAMES[self.rs2]}"
+        if fmt in ("I", "SHIFT"):
+            return f"{self.name} {REG_NAMES[self.rd]}, {REG_NAMES[self.rs1]}, {self.imm}"
+        if fmt == "S":
+            return f"{self.name} {REG_NAMES[self.rs2]}, {self.imm}({REG_NAMES[self.rs1]})"
+        if fmt == "B":
+            return f"{self.name} {REG_NAMES[self.rs1]}, {REG_NAMES[self.rs2]}, {self.imm}"
+        if fmt in ("U", "J"):
+            return f"{self.name} {REG_NAMES[self.rd]}, {self.imm:#x}"
+        return f"{self.name}(...)"

@@ -1,0 +1,129 @@
+"""A three-level page-walk model (§6.1).
+
+"For verification, we apply Serval's RISC-V verifier to monitor code
+running in M-mode, with a specification of PMP and a three-level page
+walk to model memory accesses in S- or U-mode."
+
+This module models an Sv32-like three-level translation (the §6.3
+port adds a third level to Komodo's two ARM levels — hence the new
+``InitL3PTable`` call).  The walk is a pure function over the memory
+model, bounded at three levels, so it stays inside the decidable
+fragment.  Combined with :mod:`repro.riscv.pmp`, it specifies what
+untrusted S/U-mode code can reach: translation produces a physical
+address, and the PMP check then gates the access — which is exactly
+why Keystone-style PMP isolation needs no page-table validation
+(see ``repro.keystone.safety.prove_pmp_sufficient``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.memory import Memory
+from ..sym import SymBool, SymBV, bv_val, ite, sym_false, sym_true
+
+__all__ = ["WalkResult", "walk", "pte_valid", "pte_leaf", "make_pte", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+LEVELS = 3
+# PTE bits (RISC-V): V R W X U.
+PTE_V = 1 << 0
+PTE_R = 1 << 1
+PTE_W = 1 << 2
+PTE_X = 1 << 3
+PTE_U = 1 << 4
+# 10-bit VPN slice per level in this scaled model.
+VPN_BITS = 10
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a page walk."""
+
+    ok: SymBool
+    paddr: SymBV
+    readable: SymBool
+    writable: SymBool
+    executable: SymBool
+    user: SymBool
+
+
+def pte_valid(pte: SymBV) -> SymBool:
+    return (pte & PTE_V) != 0
+
+
+def pte_leaf(pte: SymBV) -> SymBool:
+    """A PTE is a leaf if any of R/W/X is set."""
+    return (pte & (PTE_R | PTE_W | PTE_X)) != 0
+
+
+def make_pte(ppn: int, flags: int) -> int:
+    """Build a concrete PTE value (ppn in the upper bits)."""
+    return (ppn << VPN_BITS) | flags
+
+
+def _vpn(vaddr: SymBV, level: int) -> SymBV:
+    """The level-th virtual page number slice (level 2 = root index).
+
+    Implemented with extract (not shift+mask) so the slice folds
+    through concatenation-shaped virtual addresses — the same
+    missed-concretization concern as §4's address optimization.
+    """
+    lo = 12 + VPN_BITS * level
+    width = vaddr.width
+    if lo >= width:
+        # A 32-bit address space doesn't reach the root slice: the
+        # top-level index is implicitly zero.
+        return bv_val(0, width)
+    hi = min(lo + VPN_BITS - 1, width - 1)
+    return vaddr.extract(hi, lo).zext(width)
+
+
+def walk(mem: Memory, satp_root: SymBV, vaddr: SymBV, pte_bytes: int = 4) -> WalkResult:
+    """Translate ``vaddr`` through a three-level table rooted at the
+    physical address ``satp_root``.
+
+    Page-table memory is read through the ordinary memory model, so
+    malformed tables simply produce failed translations (or memory-
+    model side conditions) — the walk makes *no* well-formedness
+    assumption, which is what lets specifications quantify over
+    arbitrary OS-constructed tables.
+    """
+    width = vaddr.width
+    ok = sym_true()
+    done = sym_false()
+    paddr = bv_val(0, width)
+    perms = bv_val(0, width)
+    table = satp_root
+
+    for level in range(LEVELS - 1, -1, -1):
+        index = _vpn(vaddr, level)
+        pte_addr = table + index * pte_bytes
+        pte = mem.load(pte_addr, pte_bytes).zext(width) if pte_bytes * 8 < width else mem.load(pte_addr, pte_bytes)
+        valid = pte_valid(pte)
+        leaf = pte_leaf(pte)
+        ppn = pte >> VPN_BITS
+
+        is_active = ok & ~done
+        hit_leaf = is_active & valid & leaf
+        # Leaf: physical page + offset.  (Superpages would OR in the
+        # lower VPN slices; the monitors avoid superpages entirely to
+        # dodge the U54 PMP quirk, §6.4.)
+        page_off = vaddr.extract(11, 0).zext(width)
+        paddr = ite(hit_leaf, (ppn << 12) + page_off, paddr)
+        perms = ite(hit_leaf, pte, perms)
+        done = done | hit_leaf
+        # Invalid entry anywhere kills the walk.
+        ok = ok & (done | valid)
+        # Descend: next table is the PTE's ppn.
+        table = ite(is_active & valid & ~leaf, ppn << 12, table)
+
+    ok = ok & done  # must have hit a leaf within three levels
+    return WalkResult(
+        ok=ok,
+        paddr=paddr,
+        readable=ok & ((perms & PTE_R) != 0),
+        writable=ok & ((perms & PTE_W) != 0),
+        executable=ok & ((perms & PTE_X) != 0),
+        user=ok & ((perms & PTE_U) != 0),
+    )

@@ -1,0 +1,153 @@
+"""Physical memory protection (PMP) model (§6.1).
+
+PMP lets M-mode define up to 8 physical regions (on the U54) with
+per-region read/write/execute permissions, checked by the CPU for
+S/U-mode accesses.  The monitors use PMP for memory isolation; the
+*specifications* use this model to describe what untrusted S/U-mode
+code can touch, since monitor code itself runs in M-mode.
+
+The model also reproduces the first U54 hardware bug found in §6.4:
+"the PMP checking was too strict, improperly composing with
+superpages".  Enable ``QuirkConfig.u54_pmp_superpage`` to get the
+buggy behaviour (an access through a superpage passes only if the
+*entire superpage* is covered by the PMP region); tests demonstrate
+the divergence, and the monitors apply the paper's workaround (no
+superpages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sym import SymBV, SymBool, bv_val, ite, sym_false, sym_true
+
+__all__ = ["QuirkConfig", "PmpRegion", "pmp_check", "pmp_regions_of", "napot_region"]
+
+# Config byte layout.
+PMP_R = 1 << 0
+PMP_W = 1 << 1
+PMP_X = 1 << 2
+PMP_A_SHIFT = 3
+PMP_A_OFF = 0
+PMP_A_TOR = 1
+PMP_A_NA4 = 2
+PMP_A_NAPOT = 3
+PMP_L = 1 << 7
+
+
+@dataclass
+class QuirkConfig:
+    """Hardware quirks (U54 bugs found via verification, §6.4)."""
+
+    u54_pmp_superpage: bool = False  # PMP check too strict with superpages
+    u54_counter_leak: bool = False  # mcounteren ignored for perf counters
+
+
+@dataclass
+class PmpRegion:
+    """One decoded PMP entry."""
+
+    cfg: SymBV  # the 8-bit config byte
+    addr: SymBV  # pmpaddr[i]
+    prev_addr: SymBV  # pmpaddr[i-1] (for TOR)
+
+
+def pmp_regions_of(csrs: dict[str, SymBV], count: int = 8) -> list[PmpRegion]:
+    """Decode pmpcfg0 + pmpaddr0..7 CSRs into regions."""
+    cfg0 = csrs["pmpcfg0"]
+    xlen = cfg0.width
+    regions = []
+    zero = bv_val(0, xlen)
+    for i in range(count):
+        cfg_byte = cfg0.extract(8 * i + 7, 8 * i) if 8 * i + 7 < xlen else None
+        if cfg_byte is None:
+            break
+        prev = csrs[f"pmpaddr{i - 1}"] if i > 0 else zero
+        regions.append(PmpRegion(cfg_byte, csrs[f"pmpaddr{i}"], prev))
+    return regions
+
+
+def _region_match(region: PmpRegion, word_addr: SymBV, span_words: int = 1) -> SymBool:
+    """Does this region match the (addr>>2) word address?"""
+    a_field = (region.cfg >> PMP_A_SHIFT) & 0b11
+    y = region.addr
+    xlen = y.width
+    # NAPOT: mask off the trailing-ones + 1 bits.
+    t = y ^ (y + 1)  # 2^(k+1) - 1 for k trailing ones
+    napot = (word_addr | t) == (y | t)
+    na4 = word_addr == y
+    tor = (region.prev_addr <= word_addr) & (word_addr < y)
+    if span_words > 1:
+        # Strict variant: the whole span must sit inside the region.
+        last = word_addr + (span_words - 1)
+        napot = napot & ((last | t) == (y | t))
+        na4 = na4 & (last == y)
+        tor = tor & (region.prev_addr <= last) & (last < y)
+    return ite(
+        a_field == PMP_A_NAPOT,
+        napot,
+        ite(a_field == PMP_A_NA4, na4, ite(a_field == PMP_A_TOR, tor, sym_false())),
+    )
+
+
+def pmp_check(
+    csrs: dict[str, SymBV],
+    addr: SymBV,
+    access: str,
+    quirks: QuirkConfig | None = None,
+    page_size: int = 4096,
+    count: int = 8,
+) -> SymBool:
+    """Whether an S/U-mode access to ``addr`` is allowed.
+
+    ``access`` is "r", "w", or "x".  Priority matching: the lowest-
+    numbered matching region decides; no match denies (for S/U mode).
+
+    With the U54 superpage quirk enabled and a superpage translation
+    (``page_size`` > 4 KiB), the hardware erroneously requires the
+    PMP region to cover the *entire* superpage, not just the access.
+    """
+    quirks = quirks or QuirkConfig()
+    perm_bit = {"r": PMP_R, "w": PMP_W, "x": PMP_X}[access]
+    word_addr = addr >> 2
+    span = 1
+    if quirks.u54_pmp_superpage and page_size > 4096:
+        # Buggy composition: check the superpage's full word span.
+        word_addr = (addr & ~(page_size - 1)) >> 2
+        span = page_size // 4
+
+    allowed = sym_false()
+    matched = sym_false()
+    for region in pmp_regions_of(csrs, count):
+        hit = _region_match(region, word_addr, span)
+        grant = (region.cfg & perm_bit) != 0
+        first_hit = hit & ~matched
+        allowed = ite(first_hit, grant, allowed)
+        matched = matched | hit
+    return allowed
+
+
+def napot_region(base: int, size: int) -> int:
+    """Compute a pmpaddr value for a naturally-aligned power-of-two
+    region (what monitor boot code writes)."""
+    if size & (size - 1) or size < 8:
+        raise ValueError(f"NAPOT size must be a power of two >= 8, got {size}")
+    if base % size:
+        raise ValueError(f"NAPOT base {base:#x} not aligned to size {size:#x}")
+    return (base >> 2) | ((size // 8) - 1)
+
+
+def counter_readable(
+    csrs: dict[str, SymBV], counter_bit: int, quirks: QuirkConfig | None = None
+) -> SymBool:
+    """Whether S/U mode can read a performance counter.
+
+    Architecturally this requires the matching ``mcounteren`` bit; the
+    second U54 bug ignores the control entirely, "allowing any
+    privilege level to read performance counters, which creates covert
+    channels" (§6.4).
+    """
+    quirks = quirks or QuirkConfig()
+    if quirks.u54_counter_leak:
+        return sym_true()
+    return (csrs["mcounteren"] & (1 << counter_bit)) != 0

@@ -1,0 +1,58 @@
+"""SMT substrate: terms, bit-blasting, and a CDCL SAT core.
+
+This package replaces Z3 in the paper's verification stack (Figure 1).
+It decides the QF_BV + UF fragment by bit-blasting to CNF and running
+a from-scratch CDCL solver.  See DESIGN.md, substitution (1).
+"""
+
+from .evaluator import EvalError, eval_term
+from .model import Model
+from .solver import SAT, UNKNOWN, UNSAT, CheckResult, Solver, SolverTimeout, check_sat
+from .sorts import BOOL, BitVecSort, Sort, bv_sort, is_bool, is_bv
+from .terms import (
+    Term,
+    TermManager,
+    fresh_var,
+    manager,
+    mk_and,
+    mk_apply,
+    mk_bool,
+    mk_bv,
+    mk_bvadd,
+    mk_bvand,
+    mk_bvashr,
+    mk_bvlshr,
+    mk_bvmul,
+    mk_bvneg,
+    mk_bvnot,
+    mk_bvor,
+    mk_bvsdiv,
+    mk_bvshl,
+    mk_bvsrem,
+    mk_bvsub,
+    mk_bvudiv,
+    mk_bvurem,
+    mk_bvxor,
+    mk_concat,
+    mk_distinct,
+    mk_eq,
+    mk_extract,
+    mk_false,
+    mk_implies,
+    mk_ite,
+    mk_not,
+    mk_or,
+    mk_sext,
+    mk_sle,
+    mk_slt,
+    mk_true,
+    mk_ule,
+    mk_ult,
+    mk_var,
+    mk_xor,
+    mk_zext,
+    to_signed,
+    to_unsigned,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

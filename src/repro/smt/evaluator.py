@@ -1,0 +1,128 @@
+"""Concrete evaluation of terms under an environment.
+
+Used for three things: validating models returned by the solver,
+rendering counterexamples (§3.1 "visualized for debugging"), and
+differential testing of the bit-blaster (every gate-level encoding is
+checked against this reference semantics in the test suite).
+"""
+
+from __future__ import annotations
+
+from .sorts import BOOL
+from .terms import Term, _sdiv_concrete, _srem_concrete, to_signed, to_unsigned
+
+
+class EvalError(Exception):
+    """Raised when a term mentions a variable missing from the environment."""
+
+
+def eval_term(term: Term, env: dict) -> int | bool:
+    """Evaluate ``term`` under ``env``.
+
+    ``env`` maps variable names to Python ints/bools and uninterpreted
+    function names to callables (or dicts keyed by argument tuples).
+    Bitvector results are unsigned Python ints.
+    """
+    cache: dict[int, int | bool] = {}
+
+    def ev(t: Term):
+        hit = cache.get(t.tid)
+        if hit is not None or t.tid in cache:
+            return hit
+        result = _eval_node(t, env, ev)
+        cache[t.tid] = result
+        return result
+
+    return ev(term)
+
+
+def _eval_node(t: Term, env: dict, ev):
+    op = t.op
+    if op == "boolconst" or op == "bvconst":
+        return t.payload
+    if op == "var":
+        try:
+            value = env[t.payload]
+        except KeyError:
+            raise EvalError(f"variable {t.payload!r} not in environment") from None
+        if t.sort is BOOL:
+            return bool(value)
+        return to_unsigned(int(value), t.width)
+    if op == "apply":
+        func = env.get(t.payload)
+        argv = tuple(ev(a) for a in t.args)
+        if func is None:
+            # Unconstrained uninterpreted function: default to zero.
+            return False if t.sort is BOOL else 0
+        if callable(func):
+            value = func(*argv)
+        else:
+            value = func.get(argv, 0)
+        return bool(value) if t.sort is BOOL else to_unsigned(int(value), t.width)
+
+    args = t.args
+    if op == "not":
+        return not ev(args[0])
+    if op == "and":
+        return all(ev(a) for a in args)
+    if op == "or":
+        return any(ev(a) for a in args)
+    if op == "xor":
+        return bool(ev(args[0])) != bool(ev(args[1]))
+    if op == "ite":
+        return ev(args[1]) if ev(args[0]) else ev(args[2])
+    if op == "eq":
+        return ev(args[0]) == ev(args[1])
+
+    a = ev(args[0])
+    if op == "bvnot":
+        return to_unsigned(~a, t.width)
+    if op == "bvneg":
+        return to_unsigned(-a, t.width)
+    if op == "zext":
+        return a
+    if op == "sext":
+        return to_unsigned(to_signed(a, args[0].width), t.width)
+    if op == "extract":
+        hi, lo = t.payload
+        return (a >> lo) & ((1 << (hi - lo + 1)) - 1)
+
+    b = ev(args[1])
+    w = args[0].width
+    if op == "ult":
+        return a < b
+    if op == "ule":
+        return a <= b
+    if op == "slt":
+        return to_signed(a, w) < to_signed(b, w)
+    if op == "sle":
+        return to_signed(a, w) <= to_signed(b, w)
+    if op == "bvadd":
+        return to_unsigned(a + b, w)
+    if op == "bvsub":
+        return to_unsigned(a - b, w)
+    if op == "bvmul":
+        return to_unsigned(a * b, w)
+    if op == "bvudiv":
+        return (1 << w) - 1 if b == 0 else a // b
+    if op == "bvurem":
+        return a if b == 0 else a % b
+    if op == "bvsdiv":
+        return _sdiv_concrete(a, b, w)
+    if op == "bvsrem":
+        return _srem_concrete(a, b, w)
+    if op == "bvand":
+        return a & b
+    if op == "bvor":
+        return a | b
+    if op == "bvxor":
+        return a ^ b
+    if op == "bvshl":
+        return 0 if b >= w else to_unsigned(a << b, w)
+    if op == "bvlshr":
+        return 0 if b >= w else a >> b
+    if op == "bvashr":
+        return to_unsigned(to_signed(a, w) >> min(b, w - 1), w)
+    if op == "concat":
+        return (a << args[1].width) | b
+    raise EvalError(f"unknown operator {op!r}")

@@ -1,0 +1,140 @@
+"""SMT-LIB2 printing of term DAGs.
+
+Useful for debugging and for dumping verification conditions so they
+can be cross-checked with an external solver when one is available.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .sorts import BOOL, BitVecSort
+from .terms import Term
+
+_OP_NAMES = {
+    "not": "not",
+    "and": "and",
+    "or": "or",
+    "xor": "xor",
+    "ite": "ite",
+    "eq": "=",
+    "ult": "bvult",
+    "ule": "bvule",
+    "slt": "bvslt",
+    "sle": "bvsle",
+    "bvadd": "bvadd",
+    "bvsub": "bvsub",
+    "bvmul": "bvmul",
+    "bvudiv": "bvudiv",
+    "bvurem": "bvurem",
+    "bvsdiv": "bvsdiv",
+    "bvsrem": "bvsrem",
+    "bvand": "bvand",
+    "bvor": "bvor",
+    "bvxor": "bvxor",
+    "bvnot": "bvnot",
+    "bvneg": "bvneg",
+    "bvshl": "bvshl",
+    "bvlshr": "bvlshr",
+    "bvashr": "bvashr",
+    "concat": "concat",
+}
+
+
+def sort_to_smtlib(sort) -> str:
+    if sort is BOOL:
+        return "Bool"
+    if isinstance(sort, BitVecSort):
+        return f"(_ BitVec {sort.width})"
+    raise TypeError(f"unknown sort {sort!r}")
+
+
+def term_to_smtlib(term: Term, defs: dict[int, str] | None = None) -> str:
+    """Render a single term as an SMT-LIB2 s-expression."""
+    if defs is not None and term.tid in defs:
+        return defs[term.tid]
+    op = term.op
+    if op == "boolconst":
+        return "true" if term.payload else "false"
+    if op == "bvconst":
+        return f"(_ bv{term.payload} {term.width})"
+    if op == "var":
+        return _sanitize(term.payload)
+    if op == "extract":
+        hi, lo = term.payload
+        return f"((_ extract {hi} {lo}) {term_to_smtlib(term.args[0], defs)})"
+    if op == "zext":
+        extra = term.width - term.args[0].width
+        return f"((_ zero_extend {extra}) {term_to_smtlib(term.args[0], defs)})"
+    if op == "sext":
+        extra = term.width - term.args[0].width
+        return f"((_ sign_extend {extra}) {term_to_smtlib(term.args[0], defs)})"
+    if op == "apply":
+        inner = " ".join(term_to_smtlib(a, defs) for a in term.args)
+        return f"({_sanitize(term.payload)} {inner})"
+    name = _OP_NAMES.get(op)
+    if name is None:
+        raise ValueError(f"cannot print op {op!r}")
+    inner = " ".join(term_to_smtlib(a, defs) for a in term.args)
+    return f"({name} {inner})"
+
+
+def _sanitize(name: str) -> str:
+    out = "".join(c if c.isalnum() or c in "_.$" else "_" for c in str(name))
+    return out if out and not out[0].isdigit() else f"v_{out}"
+
+
+def script_for(assertions: list[Term]) -> str:
+    """Emit a full (set-logic ...) .. (check-sat) script.
+
+    Shared subterms are bound with let-free auxiliary definitions via
+    ``define-fun`` so the output stays linear in DAG size.
+    """
+    buf = StringIO()
+    buf.write("(set-logic QF_UFBV)\n")
+
+    variables: dict[str, Term] = {}
+    functions: dict[str, Term] = {}
+    seen: set[int] = set()
+    order: list[Term] = []
+
+    def walk(t: Term) -> None:
+        if t.tid in seen:
+            return
+        seen.add(t.tid)
+        for a in t.args:
+            walk(a)
+        if t.op == "var":
+            variables[t.payload] = t
+        elif t.op == "apply":
+            functions.setdefault(t.payload, t)
+        order.append(t)
+
+    for a in assertions:
+        walk(a)
+
+    for name, t in sorted(variables.items()):
+        buf.write(f"(declare-const {_sanitize(name)} {sort_to_smtlib(t.sort)})\n")
+    for name, t in sorted(functions.items()):
+        argsorts = " ".join(sort_to_smtlib(a.sort) for a in t.args)
+        buf.write(f"(declare-fun {_sanitize(name)} ({argsorts}) {sort_to_smtlib(t.sort)})\n")
+
+    # Name shared interior nodes to keep the printed tree small.
+    defs: dict[int, str] = {}
+    refcount: dict[int, int] = {}
+    for t in order:
+        for a in t.args:
+            refcount[a.tid] = refcount.get(a.tid, 0) + 1
+    idx = 0
+    for t in order:
+        if refcount.get(t.tid, 0) > 1 and t.args:
+            body = term_to_smtlib(t, defs)
+            name = f"aux!{idx}"
+            idx += 1
+            buf.write(f"(define-fun {name} () {sort_to_smtlib(t.sort)} {body})\n")
+            defs[t.tid] = name
+
+    for a in assertions:
+        buf.write(f"(assert {term_to_smtlib(a, defs)})\n")
+    buf.write("(check-sat)\n")
+    return buf.getvalue()

@@ -1,0 +1,121 @@
+"""Solver frontend: assertion stack, check-sat, models.
+
+This is the stack's substitute for Z3 (Figure 1, bottom box):
+"constraint solving, counterexample generation".  Each ``check`` call
+simplification-folds the assertion set (the term constructors already
+did most of the work), bit-blasts it, and runs the CDCL core.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .bitblast import BitBlaster
+from .model import Model
+from .sat.solver import SAT, UNKNOWN, UNSAT, SatSolver
+from .sorts import BOOL
+from .terms import Term, mk_bool
+
+__all__ = ["Solver", "CheckResult", "SolverTimeout", "SAT", "UNSAT", "UNKNOWN"]
+
+
+class SolverTimeout(Exception):
+    """Raised when a check exceeds its conflict or wall-clock budget."""
+
+
+class CheckResult:
+    """Outcome of a satisfiability check."""
+
+    def __init__(self, status: str, model: Model | None = None, stats: dict | None = None):
+        self.status = status
+        self.model = model
+        self.stats = stats or {}
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == UNSAT
+
+    def __repr__(self) -> str:
+        return f"CheckResult({self.status})"
+
+
+class Solver:
+    """Assertion stack plus check-sat.
+
+    Checks are one-shot: each ``check`` builds a fresh CNF.  That
+    matches how the Serval pipeline uses the solver — one verification
+    condition per theorem — and keeps the blaster stateless across
+    pushes.
+    """
+
+    def __init__(self, max_conflicts: int | None = None, timeout_s: float | None = None):
+        self._assertions: list[Term] = []
+        self._scopes: list[int] = []
+        self.max_conflicts = max_conflicts
+        self.timeout_s = timeout_s
+        self.last_stats: dict = {}
+
+    def add(self, *terms: Term) -> None:
+        for t in terms:
+            if t.sort is not BOOL:
+                raise TypeError(f"assertion must be boolean, got {t.sort!r}")
+            self._assertions.append(t)
+
+    def push(self) -> None:
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        if not self._scopes:
+            raise RuntimeError("pop without matching push")
+        del self._assertions[self._scopes.pop() :]
+
+    @property
+    def assertions(self) -> tuple[Term, ...]:
+        return tuple(self._assertions)
+
+    def check(self, *extra: Term) -> CheckResult:
+        """Check satisfiability of the asserted formulas plus ``extra``."""
+        start = time.perf_counter()
+        terms = list(self._assertions) + list(extra)
+        # Fast path: syntactic trivialities.
+        if any(t is mk_bool(False) for t in terms):
+            return CheckResult(UNSAT, stats={"trivial": True, "time_s": 0.0})
+        terms = [t for t in terms if t is not mk_bool(True)]
+        if not terms:
+            return CheckResult(SAT, Model({}), stats={"trivial": True, "time_s": 0.0})
+
+        sat = SatSolver()
+        blaster = BitBlaster(sat)
+        for t in terms:
+            blaster.assert_term(t)
+        blast_time = time.perf_counter() - start
+
+        status = sat.solve(max_conflicts=self.max_conflicts)
+        elapsed = time.perf_counter() - start
+        self.last_stats = {
+            "time_s": elapsed,
+            "blast_time_s": blast_time,
+            "sat_vars": sat.num_vars,
+            "sat_clauses": len(sat._clauses),
+            "conflicts": sat.conflicts,
+            "decisions": sat.decisions,
+            "propagations": sat.propagations,
+        }
+        if self.timeout_s is not None and elapsed > self.timeout_s:
+            raise SolverTimeout(f"check exceeded {self.timeout_s}s (took {elapsed:.2f}s)")
+        if status == SAT:
+            return CheckResult(SAT, Model(blaster.extract_model()), stats=self.last_stats)
+        if status == UNSAT:
+            return CheckResult(UNSAT, stats=self.last_stats)
+        return CheckResult(UNKNOWN, stats=self.last_stats)
+
+
+def check_sat(*terms: Term, max_conflicts: int | None = None) -> CheckResult:
+    """One-shot satisfiability check of a conjunction of terms."""
+    solver = Solver(max_conflicts=max_conflicts)
+    solver.add(*terms)
+    return solver.check()

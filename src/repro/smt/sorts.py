@@ -1,0 +1,58 @@
+"""Sorts for the QF_BV + UF fragment used by the verifier stack.
+
+The paper's specification language (§3.1) is a decidable fragment of
+first-order logic: booleans, bitvectors, uninterpreted functions, and
+quantifiers over finite domains.  These sorts are the value-level part
+of that fragment; quantifiers are finitized by the spec library.
+"""
+
+from __future__ import annotations
+
+
+class Sort:
+    """Base class for sorts.  Sorts are interned: compare with ``is``."""
+
+    __slots__ = ()
+
+
+class BoolSortT(Sort):
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+
+class BitVecSort(Sort):
+    """Fixed-width bitvector sort.  Widths are interned via ``bv_sort``."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"bitvector width must be positive, got {width}")
+        self.width = width
+
+    def __repr__(self) -> str:
+        return f"BitVec({self.width})"
+
+
+BOOL = BoolSortT()
+
+_BV_CACHE: dict[int, BitVecSort] = {}
+
+
+def bv_sort(width: int) -> BitVecSort:
+    """Return the interned bitvector sort of the given width."""
+    sort = _BV_CACHE.get(width)
+    if sort is None:
+        sort = BitVecSort(width)
+        _BV_CACHE[width] = sort
+    return sort
+
+
+def is_bv(sort: Sort) -> bool:
+    return isinstance(sort, BitVecSort)
+
+
+def is_bool(sort: Sort) -> bool:
+    return sort is BOOL

@@ -1,0 +1,881 @@
+"""Hash-consed term DAG with constant folding.
+
+Every symbolic value in the stack bottoms out in one of these terms.
+Terms are immutable and interned, so structural equality is pointer
+equality and DAG sharing is maximal — this is what makes Rosette-style
+state merging produce compact encodings (§3.2), and what lets the
+symbolic profiler count distinct terms cheaply.
+
+Constructor functions (``mk_and``, ``mk_bvadd``, ...) perform constant
+folding and local identity rewrites.  These rewrites play the role of
+Rosette's partial evaluation: after a symbolic optimization such as
+``split-pc`` concretizes a value, folding collapses the downstream
+expressions to constants.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .sorts import BOOL, BitVecSort, Sort, bv_sort, is_bv
+
+__all__ = [
+    "Term",
+    "TermManager",
+    "manager",
+    "mk_true",
+    "mk_false",
+    "mk_bool",
+    "mk_bv",
+    "mk_var",
+    "mk_not",
+    "mk_and",
+    "mk_or",
+    "mk_xor",
+    "mk_implies",
+    "mk_ite",
+    "mk_eq",
+    "mk_distinct",
+    "mk_ult",
+    "mk_ule",
+    "mk_slt",
+    "mk_sle",
+    "mk_bvadd",
+    "mk_bvsub",
+    "mk_bvmul",
+    "mk_bvudiv",
+    "mk_bvurem",
+    "mk_bvsdiv",
+    "mk_bvsrem",
+    "mk_bvand",
+    "mk_bvor",
+    "mk_bvxor",
+    "mk_bvnot",
+    "mk_bvneg",
+    "mk_bvshl",
+    "mk_bvlshr",
+    "mk_bvashr",
+    "mk_concat",
+    "mk_extract",
+    "mk_zext",
+    "mk_sext",
+    "mk_apply",
+    "to_signed",
+    "to_unsigned",
+]
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned ``width``-bit value as two's complement."""
+    sign_bit = 1 << (width - 1)
+    return (value & (sign_bit - 1)) - (value & sign_bit)
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Truncate a Python int to an unsigned ``width``-bit value."""
+    return value & ((1 << width) - 1)
+
+
+class Term:
+    """A node in the interned term DAG.
+
+    Fields:
+      op      -- operator tag ('bvconst', 'var', 'and', 'bvadd', ...)
+      sort    -- the term's sort
+      args    -- tuple of child terms
+      payload -- op-specific data: constant value, variable name,
+                 (hi, lo) for extract, function name for apply
+    """
+
+    __slots__ = ("op", "sort", "args", "payload", "_hash", "tid")
+
+    def __init__(self, op: str, sort: Sort, args: tuple["Term", ...], payload, tid: int):
+        self.op = op
+        self.sort = sort
+        self.args = args
+        self.payload = payload
+        self.tid = tid
+        self._hash = hash((op, id(sort), tuple(a.tid for a in args), payload))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Interning guarantees structural equality == identity.
+    def __eq__(self, other) -> bool:
+        return self is other
+
+    def __ne__(self, other) -> bool:
+        return self is not other
+
+    @property
+    def width(self) -> int:
+        sort = self.sort
+        if not isinstance(sort, BitVecSort):
+            raise TypeError(f"term {self!r} is not a bitvector")
+        return sort.width
+
+    def is_const(self) -> bool:
+        return self.op in ("bvconst", "boolconst")
+
+    def const_value(self):
+        if not self.is_const():
+            raise ValueError(f"term {self!r} is not a constant")
+        return self.payload
+
+    def __repr__(self) -> str:
+        if self.op == "bvconst":
+            return f"bv{self.width}({self.payload:#x})"
+        if self.op == "boolconst":
+            return "true" if self.payload else "false"
+        if self.op == "var":
+            return str(self.payload)
+        if self.op == "extract":
+            hi, lo = self.payload
+            return f"(extract {hi} {lo} {self.args[0]!r})"
+        if self.op == "apply":
+            inner = " ".join(repr(a) for a in self.args)
+            return f"({self.payload} {inner})"
+        inner = " ".join(repr(a) for a in self.args)
+        return f"({self.op} {inner})"
+
+
+class TermManager:
+    """Interning table plus fresh-variable supply.
+
+    A single global manager (``manager``) is used by the whole stack;
+    tests may instantiate private managers for isolation.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, Term] = {}
+        self._next_tid = 0
+        self._fresh_counter = 0
+        # Hook for the symbolic profiler: called with each newly
+        # interned term.  ``None`` when profiling is off.
+        self.on_new_term: Callable[[Term], None] | None = None
+
+    def intern(self, op: str, sort: Sort, args: tuple[Term, ...], payload=None) -> Term:
+        key = (op, id(sort), tuple(a.tid for a in args), payload)
+        term = self._table.get(key)
+        if term is None:
+            term = Term(op, sort, args, payload, self._next_tid)
+            self._next_tid += 1
+            self._table[key] = term
+            if self.on_new_term is not None:
+                self.on_new_term(term)
+        return term
+
+    def fresh_name(self, prefix: str) -> str:
+        self._fresh_counter += 1
+        return f"{prefix}!{self._fresh_counter}"
+
+    def num_terms(self) -> int:
+        return len(self._table)
+
+
+manager = TermManager()
+
+# ---------------------------------------------------------------------------
+# Leaf constructors
+
+
+def mk_bool(value: bool) -> Term:
+    return manager.intern("boolconst", BOOL, (), bool(value))
+
+
+def mk_true() -> Term:
+    return mk_bool(True)
+
+
+def mk_false() -> Term:
+    return mk_bool(False)
+
+
+def mk_bv(value: int, width: int) -> Term:
+    return manager.intern("bvconst", bv_sort(width), (), to_unsigned(value, width))
+
+
+def mk_var(name: str, sort: Sort) -> Term:
+    return manager.intern("var", sort, (), name)
+
+
+def fresh_var(prefix: str, sort: Sort) -> Term:
+    return mk_var(manager.fresh_name(prefix), sort)
+
+
+# ---------------------------------------------------------------------------
+# Boolean connectives
+
+
+def _is_true(t: Term) -> bool:
+    return t.op == "boolconst" and t.payload is True
+
+
+def _is_false(t: Term) -> bool:
+    return t.op == "boolconst" and t.payload is False
+
+
+def mk_not(a: Term) -> Term:
+    if a.op == "boolconst":
+        return mk_bool(not a.payload)
+    if a.op == "not":
+        return a.args[0]
+    return manager.intern("not", BOOL, (a,))
+
+
+def mk_and(*args: Term) -> Term:
+    flat: list[Term] = []
+    seen: set[int] = set()
+    for a in args:
+        if _is_false(a):
+            return mk_false()
+        if _is_true(a):
+            continue
+        # Flatten nested conjunctions for sharing and smaller CNF.
+        children = a.args if a.op == "and" else (a,)
+        for c in children:
+            if _is_false(c):
+                return mk_false()
+            if _is_true(c) or c.tid in seen:
+                continue
+            seen.add(c.tid)
+            flat.append(c)
+    for c in flat:
+        if c.op == "not" and c.args[0].tid in seen:
+            return mk_false()
+    # Self-subsuming resolution: inside a conjunction, a disjunct whose
+    # negation is already asserted can be dropped from an 'or' child:
+    # and(a, or(not a, x), ...) == and(a, x, ...).
+    changed = False
+    for i, c in enumerate(flat):
+        if c.op != "or":
+            continue
+        kept = [
+            d
+            for d in c.args
+            if not (d.op == "not" and d.args[0].tid in seen)
+            and not (d.op != "not" and mk_not(d).tid in seen)
+        ]
+        if len(kept) != len(c.args):
+            flat[i] = mk_or(*kept)
+            changed = True
+    if changed:
+        return mk_and(*flat)
+    if not flat:
+        return mk_true()
+    if len(flat) == 1:
+        return flat[0]
+    flat.sort(key=lambda t: t.tid)
+    return manager.intern("and", BOOL, tuple(flat))
+
+
+def mk_or(*args: Term) -> Term:
+    flat: list[Term] = []
+    seen: set[int] = set()
+    for a in args:
+        if _is_true(a):
+            return mk_true()
+        if _is_false(a):
+            continue
+        children = a.args if a.op == "or" else (a,)
+        for c in children:
+            if _is_true(c):
+                return mk_true()
+            if _is_false(c) or c.tid in seen:
+                continue
+            seen.add(c.tid)
+            flat.append(c)
+    for c in flat:
+        if c.op == "not" and c.args[0].tid in seen:
+            return mk_true()
+    # Self-subsuming resolution: or(not a, and(a, x), ...) drops 'a'
+    # from the conjunction.
+    changed = False
+    for i, c in enumerate(flat):
+        if c.op != "and":
+            continue
+        kept = [
+            d
+            for d in c.args
+            if not (d.op == "not" and d.args[0].tid in seen)
+            and not (d.op != "not" and mk_not(d).tid in seen)
+        ]
+        if len(kept) != len(c.args):
+            flat[i] = mk_and(*kept)
+            changed = True
+    if changed:
+        return mk_or(*flat)
+    if not flat:
+        return mk_false()
+    if len(flat) == 1:
+        return flat[0]
+    # De Morgan canonicalization (one direction only, so it cannot
+    # ping-pong with mk_and): a disjunction of negations is stored as
+    # the negated conjunction.  Together with the ite condition flip,
+    # branch-merged updates then intern identically to functional
+    # specs' positively-guarded updates.
+    if all(c.op == "not" for c in flat):
+        return mk_not(mk_and(*(c.args[0] for c in flat)))
+    flat.sort(key=lambda t: t.tid)
+    return manager.intern("or", BOOL, tuple(flat))
+
+
+def mk_xor(a: Term, b: Term) -> Term:
+    if a.op == "boolconst":
+        return mk_not(b) if a.payload else b
+    if b.op == "boolconst":
+        return mk_not(a) if b.payload else a
+    if a is b:
+        return mk_false()
+    if a.tid > b.tid:
+        a, b = b, a
+    return manager.intern("xor", BOOL, (a, b))
+
+
+def mk_implies(a: Term, b: Term) -> Term:
+    return mk_or(mk_not(a), b)
+
+
+def mk_ite(cond: Term, then: Term, els: Term) -> Term:
+    """If-then-else over booleans or same-width bitvectors."""
+    if then.sort is not els.sort:
+        raise TypeError(f"ite branch sorts differ: {then.sort!r} vs {els.sort!r}")
+    if cond.op == "boolconst":
+        return then if cond.payload else els
+    if then is els:
+        return then
+    if then.sort is BOOL:
+        if _is_true(then) and _is_false(els):
+            return cond
+        if _is_false(then) and _is_true(els):
+            return mk_not(cond)
+        if _is_true(then):
+            return mk_or(cond, els)
+        if _is_false(then):
+            return mk_and(mk_not(cond), els)
+        if _is_true(els):
+            return mk_or(mk_not(cond), then)
+        if _is_false(els):
+            return mk_and(cond, then)
+    if cond.op == "not":
+        return mk_ite(cond.args[0], els, then)
+    # Collapse ite(c, ite(c, a, _), b) and ite(c, a, ite(c, _, b)).
+    if then.op == "ite" and then.args[0] is cond:
+        then = then.args[1]
+    if els.op == "ite" and els.args[0] is cond:
+        els = els.args[2]
+    if then is els:
+        return then
+    # Absorption: ite(c, ite(d, v, e), e) == ite(c & d, v, e) and
+    # ite(c, t, ite(d, t, e)) == ite(c | d, t, e).  Normalizes guarded
+    # updates produced by branch merging to the shape functional specs
+    # write directly.
+    if then.op == "ite" and then.args[2] is els:
+        return mk_ite(mk_and(cond, then.args[0]), then.args[1], els)
+    if els.op == "ite" and els.args[1] is then:
+        return mk_ite(mk_or(cond, els.args[0]), then, els.args[2])
+    return manager.intern("ite", then.sort, (cond, then, els))
+
+
+def mk_eq(a: Term, b: Term) -> Term:
+    if a.sort is not b.sort:
+        raise TypeError(f"eq sorts differ: {a.sort!r} vs {b.sort!r}")
+    if a is b:
+        return mk_true()
+    if a.is_const() and b.is_const():
+        return mk_bool(a.payload == b.payload)
+    if a.sort is BOOL:
+        if a.op == "boolconst":
+            return b if a.payload else mk_not(b)
+        if b.op == "boolconst":
+            return a if b.payload else mk_not(a)
+    # eq distributes over ite with a constant on the other side; this
+    # is the folding that makes split-cases effective (§4).
+    if a.op == "ite" and b.is_const():
+        return mk_ite(a.args[0], mk_eq(a.args[1], b), mk_eq(a.args[2], b))
+    if b.op == "ite" and a.is_const():
+        return mk_ite(b.args[0], mk_eq(b.args[1], a), mk_eq(b.args[2], a))
+    # Two ites guarded by the *same* (interned) condition compare
+    # branch-wise.  Refinement VCs are equalities between abstraction
+    # trees and spec trees built from identical guards (e.g.
+    # current == p), so this decomposition collapses most of the VC
+    # at construction time.
+    if a.op == "ite" and b.op == "ite" and a.args[0] is b.args[0]:
+        return mk_ite(a.args[0], mk_eq(a.args[1], b.args[1]), mk_eq(a.args[2], b.args[2]))
+    # ite equal to one of its own branches: only the guard (or the
+    # other branch's equality) remains.
+    if a.op == "ite":
+        if a.args[1] is b:
+            return mk_or(a.args[0], mk_eq(a.args[2], b))
+        if a.args[2] is b:
+            return mk_or(mk_not(a.args[0]), mk_eq(a.args[1], b))
+    if b.op == "ite":
+        if b.args[1] is a:
+            return mk_or(b.args[0], mk_eq(b.args[2], a))
+        if b.args[2] is a:
+            return mk_or(mk_not(b.args[0]), mk_eq(b.args[1], a))
+    if a.tid > b.tid:
+        a, b = b, a
+    return manager.intern("eq", BOOL, (a, b))
+
+
+def mk_distinct(a: Term, b: Term) -> Term:
+    return mk_not(mk_eq(a, b))
+
+
+# ---------------------------------------------------------------------------
+# Bitvector comparisons
+
+
+def _bv_binpred(op: str, a: Term, b: Term, concrete) -> Term:
+    if a.sort is not b.sort or not is_bv(a.sort):
+        raise TypeError(f"{op}: bad operand sorts {a.sort!r}, {b.sort!r}")
+    if a.is_const() and b.is_const():
+        return mk_bool(concrete(a.payload, b.payload, a.width))
+    if a is b:
+        return mk_bool(concrete(0, 0, a.width))
+    return manager.intern(op, BOOL, (a, b))
+
+
+def mk_ult(a: Term, b: Term) -> Term:
+    if b.is_const() and b.payload == 0:
+        return mk_false()
+    if a.is_const() and a.payload == 0:
+        return mk_not(mk_eq(a, b))
+    if b.is_const() and b.payload == 1:
+        # x < 1 unsigned iff x == 0 (folds the seqz idiom to a boolean).
+        return mk_eq(a, mk_bv(0, a.width))
+    return _bv_binpred("ult", a, b, lambda x, y, w: x < y)
+
+
+def mk_ule(a: Term, b: Term) -> Term:
+    if a.is_const() and a.payload == 0:
+        return mk_true()
+    # Canonicalize to not(b < a) so <= and < intern to the same
+    # underlying predicate (maximizing DAG sharing between the
+    # specification's and the lowered implementation's conditions).
+    return mk_not(mk_ult(b, a))
+
+
+def mk_slt(a: Term, b: Term) -> Term:
+    return _bv_binpred("slt", a, b, lambda x, y, w: to_signed(x, w) < to_signed(y, w))
+
+
+def mk_sle(a: Term, b: Term) -> Term:
+    return mk_not(mk_slt(b, a))
+
+
+# ---------------------------------------------------------------------------
+# Bitvector arithmetic / logic
+
+
+def _check_same_bv(op: str, a: Term, b: Term) -> int:
+    if a.sort is not b.sort or not is_bv(a.sort):
+        raise TypeError(f"{op}: bad operand sorts {a.sort!r}, {b.sort!r}")
+    return a.width
+
+
+def mk_bvadd(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvadd", a, b)
+    if a.is_const() and b.is_const():
+        return mk_bv(a.payload + b.payload, w)
+    if a.is_const() and a.payload == 0:
+        return b
+    if b.is_const() and b.payload == 0:
+        return a
+    # Re-associate (x + c1) + c2 -> x + (c1+c2); crucial for address
+    # arithmetic produced by the memory model.
+    if b.is_const() and a.op == "bvadd" and a.args[1].is_const():
+        return mk_bvadd(a.args[0], mk_bv(a.args[1].payload + b.payload, w))
+    if a.is_const() and b.op == "bvadd" and b.args[1].is_const():
+        return mk_bvadd(b.args[0], mk_bv(b.args[1].payload + a.payload, w))
+    if a.is_const():
+        a, b = b, a  # canonical: constant on the right
+    return manager.intern("bvadd", a.sort, (a, b))
+
+
+def mk_bvsub(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvsub", a, b)
+    if b.is_const():
+        return mk_bvadd(a, mk_bv(-b.payload, w))
+    if a.is_const() and b.op == "bvadd" and b.args[1].is_const():
+        # c - (x + c2) == (c - c2) - x
+        return mk_bvsub(mk_bv(a.payload - b.args[1].payload, w), b.args[0])
+    if a is b:
+        return mk_bv(0, w)
+    return manager.intern("bvsub", a.sort, (a, b))
+
+
+def mk_bvmul(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvmul", a, b)
+    if a.is_const() and b.is_const():
+        return mk_bv(a.payload * b.payload, w)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const():
+            if x.payload == 0:
+                return mk_bv(0, w)
+            if x.payload == 1:
+                return y
+            if x.payload & (x.payload - 1) == 0:
+                # Strength-reduce multiplication by a power of two.
+                return mk_bvshl(y, mk_bv(x.payload.bit_length() - 1, w))
+    if a.tid > b.tid:
+        a, b = b, a
+    return manager.intern("bvmul", a.sort, (a, b))
+
+
+def mk_bvudiv(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvudiv", a, b)
+    if b.is_const():
+        if b.payload == 0:
+            # SMT-LIB: division by zero yields all-ones.
+            return mk_bv((1 << w) - 1, w) if a.is_const() else manager.intern("bvudiv", a.sort, (a, b))
+        if a.is_const():
+            return mk_bv(a.payload // b.payload, w)
+        if b.payload == 1:
+            return a
+        if b.payload & (b.payload - 1) == 0:
+            return mk_bvlshr(a, mk_bv(b.payload.bit_length() - 1, w))
+    return manager.intern("bvudiv", a.sort, (a, b))
+
+
+def mk_bvurem(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvurem", a, b)
+    if b.is_const():
+        if b.payload == 0:
+            return a if a.is_const() else manager.intern("bvurem", a.sort, (a, b))
+        if a.is_const():
+            return mk_bv(a.payload % b.payload, w)
+        if b.payload == 1:
+            return mk_bv(0, w)
+        if b.payload & (b.payload - 1) == 0:
+            return mk_bvand(a, mk_bv(b.payload - 1, w))
+    return manager.intern("bvurem", a.sort, (a, b))
+
+
+def _sdiv_concrete(x: int, y: int, w: int) -> int:
+    sx, sy = to_signed(x, w), to_signed(y, w)
+    if sy == 0:
+        return (1 << w) - 1 if sx >= 0 else 1
+    q = abs(sx) // abs(sy)
+    if (sx < 0) != (sy < 0):
+        q = -q
+    return to_unsigned(q, w)
+
+
+def _srem_concrete(x: int, y: int, w: int) -> int:
+    sx, sy = to_signed(x, w), to_signed(y, w)
+    if sy == 0:
+        return x
+    r = abs(sx) % abs(sy)
+    if sx < 0:
+        r = -r
+    return to_unsigned(r, w)
+
+
+def mk_bvsdiv(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvsdiv", a, b)
+    if a.is_const() and b.is_const():
+        return mk_bv(_sdiv_concrete(a.payload, b.payload, w), w)
+    return manager.intern("bvsdiv", a.sort, (a, b))
+
+
+def mk_bvsrem(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvsrem", a, b)
+    if a.is_const() and b.is_const():
+        return mk_bv(_srem_concrete(a.payload, b.payload, w), w)
+    return manager.intern("bvsrem", a.sort, (a, b))
+
+
+
+
+def _bool_shaped(t: Term, depth: int = 3) -> bool:
+    """An ite tree with constant leaves (a 0/1 flag or small select).
+
+    Bounded depth keeps the distribution from exploding on data ites.
+    """
+    if t.is_const():
+        return depth < 3  # a bare constant only counts as a sub-tree
+    if t.op != "ite" or depth == 0:
+        return False
+    return _bool_shaped(t.args[1], depth - 1) and _bool_shaped(t.args[2], depth - 1)
+
+
+def _distribute_flags(fn, a: Term, b: Term) -> Term | None:
+    """Distribute a bitwise op over boolean-shaped ites.
+
+    Lowered code computes flags as ``ite(c, 1, 0)`` values and combines
+    them with bvand/bvor/bvxor; distributing re-exposes the underlying
+    boolean structure so that e.g. the spec's ``c1 and c2`` and the
+    implementation's ``(c1 ? 1 : 0) & (c2 ? 1 : 0) != 0`` intern to the
+    same term.  Bounded: at most 4 constant leaves.
+    """
+    a_flag = not a.is_const() and _bool_shaped(a)
+    b_flag = not b.is_const() and _bool_shaped(b)
+    if a_flag and (b.is_const() or b_flag):
+        return mk_ite(a.args[0], fn(a.args[1], b), fn(a.args[2], b))
+    if b_flag and a.is_const():
+        return mk_ite(b.args[0], fn(a, b.args[1]), fn(a, b.args[2]))
+    return None
+
+
+def mk_bvand(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvand", a, b)
+    if a.is_const() and b.is_const():
+        return mk_bv(a.payload & b.payload, w)
+    ones = (1 << w) - 1
+    for x, y in ((a, b), (b, a)):
+        if x.is_const():
+            if x.payload == 0:
+                return mk_bv(0, w)
+            if x.payload == ones:
+                return y
+    if a is b:
+        return a
+    dist = _distribute_flags(mk_bvand, a, b)
+    if dist is not None:
+        return dist
+    if a.tid > b.tid:
+        a, b = b, a
+    return manager.intern("bvand", a.sort, (a, b))
+
+
+def mk_bvor(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvor", a, b)
+    if a.is_const() and b.is_const():
+        return mk_bv(a.payload | b.payload, w)
+    ones = (1 << w) - 1
+    for x, y in ((a, b), (b, a)):
+        if x.is_const():
+            if x.payload == 0:
+                return y
+            if x.payload == ones:
+                return mk_bv(ones, w)
+    if a is b:
+        return a
+    dist = _distribute_flags(mk_bvor, a, b)
+    if dist is not None:
+        return dist
+    if a.tid > b.tid:
+        a, b = b, a
+    return manager.intern("bvor", a.sort, (a, b))
+
+
+def mk_bvxor(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvxor", a, b)
+    if a.is_const() and b.is_const():
+        return mk_bv(a.payload ^ b.payload, w)
+    for x, y in ((a, b), (b, a)):
+        if x.is_const() and x.payload == 0:
+            return y
+    if a is b:
+        return mk_bv(0, w)
+    dist = _distribute_flags(mk_bvxor, a, b)
+    if dist is not None:
+        return dist
+    if a.tid > b.tid:
+        a, b = b, a
+    return manager.intern("bvxor", a.sort, (a, b))
+
+
+def mk_bvnot(a: Term) -> Term:
+    if a.is_const():
+        return mk_bv(~a.payload, a.width)
+    if a.op == "bvnot":
+        return a.args[0]
+    return manager.intern("bvnot", a.sort, (a,))
+
+
+def mk_bvneg(a: Term) -> Term:
+    if a.is_const():
+        return mk_bv(-a.payload, a.width)
+    return manager.intern("bvneg", a.sort, (a,))
+
+
+def _shift_amount(b: Term, w: int) -> int | None:
+    """Concrete shift amount, clamped to the SMT-LIB >=width semantics."""
+    if b.is_const():
+        return min(b.payload, w)
+    return None
+
+
+def mk_bvshl(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvshl", a, b)
+    amt = _shift_amount(b, w)
+    if amt is not None:
+        if amt == 0:
+            return a
+        if amt >= w:
+            return mk_bv(0, w)
+        if a.is_const():
+            return mk_bv(a.payload << amt, w)
+    return manager.intern("bvshl", a.sort, (a, b))
+
+
+def mk_bvlshr(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvlshr", a, b)
+    amt = _shift_amount(b, w)
+    if amt is not None:
+        if amt == 0:
+            return a
+        if amt >= w:
+            return mk_bv(0, w)
+        if a.is_const():
+            return mk_bv(a.payload >> amt, w)
+    return manager.intern("bvlshr", a.sort, (a, b))
+
+
+def mk_bvashr(a: Term, b: Term) -> Term:
+    w = _check_same_bv("bvashr", a, b)
+    amt = _shift_amount(b, w)
+    if amt is not None:
+        if amt == 0:
+            return a
+        if a.is_const():
+            return mk_bv(to_signed(a.payload, w) >> min(amt, w - 1), w)
+        if amt >= w:
+            amt = w - 1
+            b = mk_bv(amt, w)
+    return manager.intern("bvashr", a.sort, (a, b))
+
+
+# ---------------------------------------------------------------------------
+# Structural bitvector ops
+
+
+def mk_concat(hi: Term, lo: Term) -> Term:
+    if not (is_bv(hi.sort) and is_bv(lo.sort)):
+        raise TypeError("concat expects bitvectors")
+    w = hi.width + lo.width
+    if hi.is_const() and lo.is_const():
+        return mk_bv((hi.payload << lo.width) | lo.payload, w)
+    return manager.intern("concat", bv_sort(w), (hi, lo))
+
+
+def mk_extract(hi: int, lo: int, a: Term) -> Term:
+    if not is_bv(a.sort):
+        raise TypeError("extract expects a bitvector")
+    if not (0 <= lo <= hi < a.width):
+        raise ValueError(f"bad extract range [{hi}:{lo}] on width {a.width}")
+    w = hi - lo + 1
+    if w == a.width:
+        return a
+    if a.is_const():
+        return mk_bv(a.payload >> lo, w)
+    if a.op == "extract":
+        ihi, ilo = a.payload
+        return mk_extract(ilo + hi, ilo + lo, a.args[0])
+    if a.op == "concat":
+        hterm, lterm = a.args
+        if hi < lterm.width:
+            return mk_extract(hi, lo, lterm)
+        if lo >= lterm.width:
+            return mk_extract(hi - lterm.width, lo - lterm.width, hterm)
+    if a.op in ("zext", "sext"):
+        inner = a.args[0]
+        if hi < inner.width:
+            return mk_extract(hi, lo, inner)
+        if a.op == "zext" and lo >= inner.width:
+            return mk_bv(0, w)
+    if a.op == "ite":
+        cond, t, e = a.args
+        if t.is_const() or e.is_const():
+            return mk_ite(cond, mk_extract(hi, lo, t), mk_extract(hi, lo, e))
+    return manager.intern("extract", bv_sort(w), (a,), (hi, lo))
+
+
+def mk_zext(a: Term, extra: int) -> Term:
+    if extra < 0:
+        raise ValueError("zext amount must be non-negative")
+    if extra == 0:
+        return a
+    if a.is_const():
+        return mk_bv(a.payload, a.width + extra)
+    if a.op == "zext":
+        return mk_zext(a.args[0], extra + a.width - a.args[0].width)
+    return manager.intern("zext", bv_sort(a.width + extra), (a,))
+
+
+def mk_sext(a: Term, extra: int) -> Term:
+    if extra < 0:
+        raise ValueError("sext amount must be non-negative")
+    if extra == 0:
+        return a
+    if a.is_const():
+        return mk_bv(to_signed(a.payload, a.width), a.width + extra)
+    return manager.intern("sext", bv_sort(a.width + extra), (a,))
+
+
+# ---------------------------------------------------------------------------
+# Uninterpreted functions
+
+
+def mk_apply(name: str, result_sort: Sort, args: Iterable[Term]) -> Term:
+    return manager.intern("apply", result_sort, tuple(args), name)
+
+
+# ---------------------------------------------------------------------------
+# Generic reconstruction (used by symbolic reflection)
+
+_BINARY_CONSTRUCTORS = {}
+_UNARY_CONSTRUCTORS = {}
+
+
+def _register_constructors() -> None:
+    _BINARY_CONSTRUCTORS.update(
+        {
+            "eq": mk_eq,
+            "ult": mk_ult,
+            "ule": mk_ule,
+            "slt": mk_slt,
+            "sle": mk_sle,
+            "bvadd": mk_bvadd,
+            "bvsub": mk_bvsub,
+            "bvmul": mk_bvmul,
+            "bvudiv": mk_bvudiv,
+            "bvurem": mk_bvurem,
+            "bvsdiv": mk_bvsdiv,
+            "bvsrem": mk_bvsrem,
+            "bvand": mk_bvand,
+            "bvor": mk_bvor,
+            "bvxor": mk_bvxor,
+            "bvshl": mk_bvshl,
+            "bvlshr": mk_bvlshr,
+            "bvashr": mk_bvashr,
+            "concat": mk_concat,
+            "xor": mk_xor,
+        }
+    )
+    _UNARY_CONSTRUCTORS.update({"bvnot": mk_bvnot, "bvneg": mk_bvneg, "not": mk_not})
+
+
+_register_constructors()
+
+
+def rebuild_with_args(term: Term, new_args: tuple[Term, ...]) -> Term:
+    """Re-apply ``term``'s operator to replacement arguments.
+
+    Goes through the folding constructors, so substituting a constant
+    child triggers partial evaluation.  Used by symbolic reflection to
+    distribute operators over ite branches (e.g. pc arithmetic)."""
+    op = term.op
+    if op in _BINARY_CONSTRUCTORS:
+        return _BINARY_CONSTRUCTORS[op](new_args[0], new_args[1])
+    if op in _UNARY_CONSTRUCTORS:
+        return _UNARY_CONSTRUCTORS[op](new_args[0])
+    if op == "ite":
+        return mk_ite(new_args[0], new_args[1], new_args[2])
+    if op == "and":
+        return mk_and(*new_args)
+    if op == "or":
+        return mk_or(*new_args)
+    if op == "extract":
+        hi, lo = term.payload
+        return mk_extract(hi, lo, new_args[0])
+    if op == "zext":
+        return mk_zext(new_args[0], term.width - new_args[0].width)
+    if op == "sext":
+        return mk_sext(new_args[0], term.width - new_args[0].width)
+    if op == "apply":
+        return mk_apply(term.payload, term.sort, new_args)
+    raise ValueError(f"cannot rebuild op {op!r}")

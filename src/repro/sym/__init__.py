@@ -1,0 +1,42 @@
+"""Symbolic evaluation layer (the Rosette substitute, Figure 1).
+
+Provides symbolic values with Python operator overloading, guarded
+unions and state merging, an assertion store with path conditions,
+verify/solve queries with counterexamples, the symbolic profiler, and
+symbolic reflection.
+"""
+
+from .context import VC, Context, assert_prop, bug_on, current, new_context, path_condition
+from .merge import Union, merge, merge_states
+from .profiler import SymProfiler, active_profiler, note_split, profile, region
+from .reflect import (
+    concrete_leaves,
+    destruct_ite,
+    destruct_linear,
+    is_ite,
+    ite_leaves,
+    term_depth,
+    term_size,
+)
+from .solverapi import ProofResult, VerificationError, prove, solve, verify_vcs
+from .value import (
+    SymBool,
+    SymbolicBranchError,
+    SymBV,
+    bv,
+    bv_val,
+    fresh_bool,
+    fresh_bv,
+    ite,
+    named_bool,
+    named_bv,
+    sym_and,
+    sym_eq,
+    sym_false,
+    sym_implies,
+    sym_not,
+    sym_or,
+    sym_true,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

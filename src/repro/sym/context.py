@@ -1,0 +1,127 @@
+"""Evaluation context: path conditions and the assertion store.
+
+Rosette keeps a global assertion store populated during symbolic
+evaluation; verification then asks whether any store entry can be
+falsified.  Our context records verification conditions (VCs) of two
+flavors:
+
+  * assertions  -- properties that must hold on every path,
+  * bug_on      -- undefined-behaviour conditions that must be *false*
+                   under the current path condition (§3.3).
+
+Contexts nest: ``with ctx.under(guard)`` scopes a path-condition
+conjunct, which is how branch exploration communicates feasibility to
+the VCs below it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..smt import Term, mk_and, mk_bool, mk_implies, mk_not
+from .value import SymBool, _coerce_bool
+
+__all__ = ["VC", "Context", "current", "new_context", "assert_prop", "bug_on", "path_condition"]
+
+
+@dataclass
+class VC:
+    """A verification condition collected during evaluation."""
+
+    formula: Term  # must be valid (i.e. its negation unsat)
+    message: str
+    kind: str = "assert"  # "assert" | "bug-on"
+    info: dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        return f"VC({self.kind}: {self.message})"
+
+
+class Context:
+    """Collects path condition and verification conditions."""
+
+    def __init__(self) -> None:
+        self._path: list[Term] = []
+        self.vcs: list[VC] = []
+
+    # -- path condition ----------------------------------------------------
+
+    @property
+    def path(self) -> Term:
+        return mk_and(*self._path) if self._path else mk_bool(True)
+
+    @contextmanager
+    def under(self, guard):
+        """Scope a path-condition conjunct."""
+        guard = _coerce_bool(guard)
+        self._path.append(guard.term)
+        try:
+            yield
+        finally:
+            self._path.pop()
+
+    def path_is_infeasible(self) -> bool:
+        """Cheap syntactic feasibility check (False constant only)."""
+        return self.path is mk_bool(False)
+
+    # -- verification conditions ----------------------------------------------
+
+    def assert_prop(self, cond, message: str = "assertion", **info) -> None:
+        """Record that ``cond`` must hold under the current path."""
+        cond = _coerce_bool(cond)
+        formula = mk_implies(self.path, cond.term)
+        if formula is mk_bool(True):
+            return
+        self.vcs.append(VC(formula, message, "assert", info))
+
+    def bug_on(self, cond, message: str = "undefined behavior", **info) -> None:
+        """Record that ``cond`` must be false under the current path (§3.3).
+
+        This is Serval's ``bug-on``: interpreters call it for UB such
+        as out-of-bounds program counters (Figure 4, lines 27-28).
+        """
+        cond = _coerce_bool(cond)
+        formula = mk_implies(self.path, mk_not(cond.term))
+        if formula is mk_bool(True):
+            return
+        self.vcs.append(VC(formula, message, "bug-on", info))
+
+    def guard_bool(self, cond) -> SymBool:
+        """``cond`` strengthened with the current path condition."""
+        cond = _coerce_bool(cond)
+        return SymBool(mk_and(self.path, cond.term))
+
+
+# ---------------------------------------------------------------------------
+# Context stack
+
+_stack: list[Context] = [Context()]
+
+
+def current() -> Context:
+    return _stack[-1]
+
+
+@contextmanager
+def new_context():
+    """Run evaluation in a fresh context; yields it for VC inspection."""
+    ctx = Context()
+    _stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _stack.pop()
+
+
+def assert_prop(cond, message: str = "assertion", **info) -> None:
+    current().assert_prop(cond, message, **info)
+
+
+def bug_on(cond, message: str = "undefined behavior", **info) -> None:
+    current().bug_on(cond, message, **info)
+
+
+def path_condition() -> Term:
+    return current().path

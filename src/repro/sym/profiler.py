@@ -1,0 +1,146 @@
+"""Symbolic profiling (Bornholt & Torlak, OOPSLA'18; paper §3.2).
+
+Common profiling metrics (time, memory) cannot identify the root
+causes of performance problems in symbolic code.  The symbolic
+profiler instead tracks, per labeled region:
+
+  * terms        -- symbolic values created,
+  * merges       -- state-merge operations,
+  * splits       -- path splits (forced by split-pc / branch forks),
+  * union size   -- the largest guarded union observed.
+
+and ranks regions by a score computed from these statistics.  In the
+ToyRISC walkthrough this is what flags ``fetch``'s ``vector-ref``
+exploding under a symbolic pc.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from ..smt import manager
+from .merge import set_merge_hook
+
+__all__ = ["RegionStats", "SymProfiler", "profile", "active_profiler"]
+
+
+@dataclass
+class RegionStats:
+    name: str
+    calls: int = 0
+    terms: int = 0
+    merges: int = 0
+    splits: int = 0
+    max_union: int = 0
+    time_s: float = 0.0
+
+    @property
+    def score(self) -> float:
+        """Bottleneck heuristic: splits and merges dominate term churn."""
+        return self.terms + 20.0 * self.merges + 100.0 * self.splits + 50.0 * self.max_union
+
+
+class SymProfiler:
+    """Collects per-region statistics during symbolic evaluation."""
+
+    def __init__(self) -> None:
+        self.regions: dict[str, RegionStats] = {}
+        self._active: list[tuple[str, float]] = []
+
+    # -- region scoping --------------------------------------------------------
+
+    @contextmanager
+    def region(self, name: str):
+        stats = self.regions.setdefault(name, RegionStats(name))
+        stats.calls += 1
+        self._active.append((name, time.perf_counter()))
+        try:
+            yield stats
+        finally:
+            _, start = self._active.pop()
+            stats.time_s += time.perf_counter() - start
+
+    def _each_active(self):
+        for name, _ in self._active:
+            yield self.regions[name]
+
+    # -- event hooks ----------------------------------------------------------
+
+    def on_new_term(self, term) -> None:
+        for stats in self._each_active():
+            stats.terms += 1
+
+    def on_merge(self, guard, a, b) -> None:
+        from .merge import Union
+
+        size = 0
+        if isinstance(a, Union):
+            size = max(size, len(a))
+        if isinstance(b, Union):
+            size = max(size, len(b))
+        for stats in self._each_active():
+            stats.merges += 1
+            stats.max_union = max(stats.max_union, size)
+
+    def on_split(self, n: int = 1) -> None:
+        for stats in self._each_active():
+            stats.splits += n
+
+    # -- reporting ----------------------------------------------------------------
+
+    def ranking(self) -> list[RegionStats]:
+        return sorted(self.regions.values(), key=lambda s: s.score, reverse=True)
+
+    def report(self, top: int = 10) -> str:
+        lines = [
+            f"{'region':<28} {'calls':>7} {'terms':>9} {'merges':>8} "
+            f"{'splits':>7} {'maxU':>5} {'time(s)':>8} {'score':>10}"
+        ]
+        for stats in self.ranking()[:top]:
+            lines.append(
+                f"{stats.name:<28} {stats.calls:>7} {stats.terms:>9} {stats.merges:>8} "
+                f"{stats.splits:>7} {stats.max_union:>5} {stats.time_s:>8.3f} {stats.score:>10.0f}"
+            )
+        return "\n".join(lines)
+
+
+_active: SymProfiler | None = None
+
+
+def active_profiler() -> SymProfiler | None:
+    return _active
+
+
+@contextmanager
+def profile():
+    """Enable symbolic profiling for a ``with`` block; yields the profiler."""
+    global _active
+    previous = _active
+    profiler = SymProfiler()
+    _active = profiler
+    old_term_hook = manager.on_new_term
+    manager.on_new_term = profiler.on_new_term
+    set_merge_hook(profiler.on_merge)
+    try:
+        yield profiler
+    finally:
+        _active = previous
+        manager.on_new_term = old_term_hook
+        set_merge_hook(None)
+
+
+@contextmanager
+def region(name: str):
+    """Attribute enclosed work to ``name`` if a profiler is active."""
+    if _active is None:
+        yield None
+    else:
+        with _active.region(name) as stats:
+            yield stats
+
+
+def note_split(n: int = 1) -> None:
+    if _active is not None:
+        _active.on_split(n)

@@ -1,0 +1,125 @@
+"""Verification entry points: prove, refute, and counterexamples.
+
+These mirror Rosette's ``verify``/``solve`` queries (§3.1): a property
+is proved by showing its negation unsatisfiable; a failed proof comes
+back with a counterexample model for debugging specifications and
+implementations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..smt import Model, Solver, SolverTimeout, Term, mk_and, mk_bool, mk_not
+from .context import VC, Context
+from .value import SymBool, _coerce_bool
+
+__all__ = ["ProofResult", "prove", "solve", "verify_vcs", "VerificationError"]
+
+
+class VerificationError(Exception):
+    """Raised by ``check_*`` helpers when a proof fails."""
+
+    def __init__(self, message: str, result: "ProofResult"):
+        super().__init__(message)
+        self.result = result
+
+
+@dataclass
+class ProofResult:
+    """Outcome of a proof attempt."""
+
+    proved: bool
+    counterexample: Model | None = None
+    failed_vc: VC | None = None
+    unknown: bool = False
+    stats: dict = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.proved
+
+    def describe(self) -> str:
+        if self.proved:
+            return "proved"
+        if self.unknown:
+            return "unknown (budget exhausted)"
+        what = self.failed_vc.message if self.failed_vc else "property"
+        return f"failed: {what}; counterexample: {self.counterexample!r}"
+
+
+def prove(
+    prop,
+    assumptions: list | tuple = (),
+    max_conflicts: int | None = None,
+    timeout_s: float | None = None,
+) -> ProofResult:
+    """Prove a single property under assumptions."""
+    prop = _coerce_bool(prop)
+    assume = mk_and(*(_coerce_bool(a).term for a in assumptions)) if assumptions else mk_bool(True)
+    solver = Solver(max_conflicts=max_conflicts, timeout_s=timeout_s)
+    solver.add(assume)
+    result = solver.check(mk_not(prop.term))
+    if result.is_unsat:
+        return ProofResult(True, stats=solver.last_stats)
+    if result.is_sat:
+        return ProofResult(False, counterexample=result.model, stats=solver.last_stats)
+    return ProofResult(False, unknown=True, stats=solver.last_stats)
+
+
+def solve(*constraints, max_conflicts: int | None = None) -> Model | None:
+    """Find a model of the conjunction, or None (Rosette's ``solve``)."""
+    solver = Solver(max_conflicts=max_conflicts)
+    solver.add(*(_coerce_bool(c).term for c in constraints))
+    result = solver.check()
+    return result.model if result.is_sat else None
+
+
+def verify_vcs(
+    ctx: Context,
+    assumptions: list | tuple = (),
+    max_conflicts: int | None = None,
+    timeout_s: float | None = None,
+    batch: bool = True,
+) -> ProofResult:
+    """Discharge every VC collected in a context.
+
+    With ``batch=True`` all VCs are checked as one conjunction first
+    (the common fast path: a single unsat query proves everything);
+    on failure each VC is re-checked individually to identify the
+    failing condition and produce its counterexample.
+    """
+    if not ctx.vcs:
+        return ProofResult(True)
+    assume_terms = [_coerce_bool(a).term for a in assumptions]
+    start = time.perf_counter()
+
+    def check_formulas(formulas: list[Term]) -> tuple[str, Model | None, dict]:
+        solver = Solver(max_conflicts=max_conflicts, timeout_s=timeout_s)
+        for t in assume_terms:
+            solver.add(t)
+        negated = mk_not(mk_and(*formulas))
+        try:
+            result = solver.check(negated)
+        except SolverTimeout:
+            return "unknown", None, solver.last_stats
+        return result.status, result.model, solver.last_stats
+
+    if batch:
+        status, model, stats = check_formulas([vc.formula for vc in ctx.vcs])
+        stats = dict(stats, total_time_s=time.perf_counter() - start, num_vcs=len(ctx.vcs))
+        if status == "unsat":
+            return ProofResult(True, stats=stats)
+        if status == "unknown":
+            return ProofResult(False, unknown=True, stats=stats)
+
+    # Re-check VCs one by one to find the first failure.
+    for vc in ctx.vcs:
+        status, model, stats = check_formulas([vc.formula])
+        if status == "unsat":
+            continue
+        stats = dict(stats, total_time_s=time.perf_counter() - start, num_vcs=len(ctx.vcs))
+        if status == "unknown":
+            return ProofResult(False, unknown=True, failed_vc=vc, stats=stats)
+        return ProofResult(False, counterexample=model, failed_vc=vc, stats=stats)
+    return ProofResult(True, stats={"total_time_s": time.perf_counter() - start, "num_vcs": len(ctx.vcs)})

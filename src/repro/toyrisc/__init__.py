@@ -1,0 +1,14 @@
+"""ToyRISC: the paper's worked example (§3.2-§3.3, Figures 2-5)."""
+
+from .interp import Insn, ToyCpu, ToyRISC, bnez, li, ret, sgtz, sign_program, sltz
+from .spec import (
+    abstract,
+    make_state_type,
+    prove_sign_refinement,
+    rep_invariant,
+    sign_refinement,
+    spec_sign,
+    step_consistency_holds,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

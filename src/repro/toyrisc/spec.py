@@ -1,0 +1,101 @@
+"""Specification and proofs for the ToyRISC sign program (§3.3).
+
+The three specification inputs from the paper: spec state, functional
+specification, abstraction function, and representation invariant —
+plus the step-consistency noninterference property over the spec.
+"""
+
+from __future__ import annotations
+
+from ..core import EngineOptions, Refinement, run_interpreter, spec_struct
+from ..sym import ProofResult, SymBool, bv_val, ite, sym_eq
+from .interp import ToyCpu, ToyRISC, sign_program
+
+__all__ = [
+    "make_state_type",
+    "spec_sign",
+    "abstract",
+    "rep_invariant",
+    "sign_refinement",
+    "prove_sign_refinement",
+    "step_consistency_holds",
+]
+
+_state_cache: dict[int, type] = {}
+
+
+def make_state_type(width: int = 32):
+    """Specification state: ``(struct state (a0 a1))``."""
+    if width not in _state_cache:
+        _state_cache[width] = spec_struct(f"toystate{width}", a0=width, a1=width)
+    return _state_cache[width]
+
+
+def spec_sign(s):
+    """Functional specification of the sign program (§3.3)."""
+    cls = type(s)
+    sign = ite(
+        s.a0.sgt(0),
+        bv_val(1, s.a0.width),
+        ite(s.a0.slt(0), bv_val(-1, s.a0.width), bv_val(0, s.a0.width)),
+    )
+    scratch = ite(s.a0.slt(0), bv_val(1, s.a0.width), bv_val(0, s.a0.width))
+    out = cls.__new__(cls)
+    out.a0 = sign
+    out.a1 = scratch
+    return out
+
+
+def abstract(c: ToyCpu):
+    """AF: implementation cpu state -> specification state."""
+    cls = make_state_type(c.width)
+    out = cls.__new__(cls)
+    out.a0 = c.reg(0)
+    out.a1 = c.reg(1)
+    return out
+
+
+def rep_invariant(c: ToyCpu) -> SymBool:
+    """RI: execution starts and ends at pc = 0."""
+    return c.pc == 0
+
+
+def sign_refinement(width: int = 32, options: EngineOptions | None = None) -> Refinement:
+    """The refinement obligation for the sign program."""
+    interp = ToyRISC(sign_program())
+    opts = options or EngineOptions()
+
+    def impl_step(state: ToyCpu) -> ToyCpu:
+        return run_interpreter(interp, state, opts).merged()
+
+    return Refinement(
+        name=f"toyrisc.sign.w{width}",
+        make_impl=lambda: ToyCpu.symbolic(width),
+        impl_step=impl_step,
+        spec_step=spec_sign,
+        abstract=abstract,
+        rep_invariant=rep_invariant,
+    )
+
+
+def prove_sign_refinement(width: int = 32, options: EngineOptions | None = None) -> ProofResult:
+    return sign_refinement(width, options).prove()
+
+
+def step_consistency_holds(width: int = 32) -> ProofResult:
+    """Step consistency (§3.3): the result depends only on a0.
+
+    Unwinding relation ~ filters out a1:
+    ``s1 ~ s2  =>  spec-sign(s1) ~ spec-sign(s2)``.
+    """
+    from ..core import theorem
+
+    cls = make_state_type(width)
+
+    def related(s1, s2) -> SymBool:
+        return sym_eq(s1.a0, s2.a0)
+
+    def prop(s1, s2) -> SymBool:
+        return related(s1, s2).implies(related(spec_sign(s1), spec_sign(s2)))
+
+    return theorem("toyrisc.step-consistency", prop, cls, cls)

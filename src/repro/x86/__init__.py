@@ -1,0 +1,6 @@
+"""The x86-32 verifier (§5): the BPF-JIT instruction subset."""
+
+from .insn import REGS, X86Insn, mk, reg_index
+from .interp import X86Interp, X86State, run_insns
+
+__all__ = [name for name in dir() if not name.startswith("_")]

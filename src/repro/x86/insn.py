@@ -1,0 +1,68 @@
+"""x86-32 instruction subset (§5).
+
+"The x86-32 verifier models general-purpose registers only and
+implements a subset of instructions used by the Linux kernel's BPF
+JIT for x86-32": register/immediate moves, the ALU ops with their
+carry variants (add/adc, sub/sbb), shifts including the double-shift
+pair shld/shrd the 64-bit shift helpers rely on, and conditional
+jumps over CF/ZF/SF/OF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["X86Insn", "REGS", "reg_index"]
+
+REGS = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"]
+_REG_INDEX = {name: i for i, name in enumerate(REGS)}
+
+
+def reg_index(reg) -> int:
+    if isinstance(reg, int):
+        return reg
+    return _REG_INDEX[reg]
+
+
+@dataclass(frozen=True)
+class X86Insn:
+    """One decoded instruction.
+
+    ``mnemonic`` selects semantics; operands are register indices,
+    immediates, or (for memory forms) an (base_reg, displacement)
+    pair encoded as ``mem``.
+    """
+
+    mnemonic: str
+    dst: int | None = None
+    src: int | None = None
+    imm: int | None = None
+    mem: tuple[int, int] | None = None  # (base register, displacement)
+    target: int | None = None  # branch target (instruction index)
+
+    def __repr__(self) -> str:
+        parts = [self.mnemonic]
+        ops = []
+        if self.dst is not None:
+            ops.append(REGS[self.dst])
+        if self.mem is not None:
+            base, disp = self.mem
+            ops.append(f"[{REGS[base]}{disp:+#x}]")
+        if self.src is not None:
+            ops.append(REGS[self.src])
+        if self.imm is not None:
+            ops.append(f"{self.imm:#x}")
+        if self.target is not None:
+            ops.append(f"-> {self.target}")
+        return f"{parts[0]} " + ", ".join(ops)
+
+
+def mk(mnemonic: str, **kw) -> X86Insn:
+    if "dst" in kw and kw["dst"] is not None:
+        kw["dst"] = reg_index(kw["dst"])
+    if "src" in kw and kw["src"] is not None:
+        kw["src"] = reg_index(kw["src"])
+    if "mem" in kw and kw["mem"] is not None:
+        base, disp = kw["mem"]
+        kw["mem"] = (reg_index(base), disp)
+    return X86Insn(mnemonic, **kw)

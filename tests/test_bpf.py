@@ -1,0 +1,126 @@
+"""Tests for the BPF verifier: ALU semantics (incl. zero-extension
+rules), jumps, and lifting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpf import BpfInterp, BpfState, alu, exit_, jmp, run_insn
+from repro.core import EngineOptions, run_interpreter
+from repro.sym import bv_val, new_context, prove, sym_implies
+
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+def concrete_state(**regs) -> BpfState:
+    s = BpfState.symbolic("tb")
+    for idx, val in regs.items():
+        s.regs[int(idx[1:])] = bv_val(val, 64)
+    return s
+
+
+class TestAlu64:
+    def test_add_wraps(self):
+        s = concrete_state(r1=2**64 - 1, r2=2)
+        t = run_insn(alu("add", 1, ("r", 2)), s)
+        assert t.regs[1].as_int() == 1
+
+    def test_imm_sign_extended(self):
+        s = concrete_state(r1=0)
+        t = run_insn(alu("add", 1, -5), s)
+        assert t.regs[1].as_int() == 2**64 - 5
+
+    def test_shift_masks_to_63(self):
+        s = concrete_state(r1=1, r2=64 + 3)
+        t = run_insn(alu("lsh", 1, ("r", 2)), s)
+        assert t.regs[1].as_int() == 8
+
+    def test_arsh(self):
+        s = concrete_state(r1=1 << 63, r2=63)
+        t = run_insn(alu("arsh", 1, ("r", 2)), s)
+        assert t.regs[1].as_int() == 2**64 - 1
+
+    def test_div_by_zero_yields_zero(self):
+        s = concrete_state(r1=7, r2=0)
+        t = run_insn(alu("div", 1, ("r", 2)), s)
+        assert t.regs[1].as_int() == 0
+
+    def test_mod_by_zero_keeps_dst(self):
+        s = concrete_state(r1=7, r2=0)
+        t = run_insn(alu("mod", 1, ("r", 2)), s)
+        assert t.regs[1].as_int() == 7
+
+
+class TestAlu32ZeroExtension:
+    """The semantics the buggy JITs violated (§7)."""
+
+    @given(a=u64, b=u64)
+    @settings(max_examples=20, deadline=None)
+    def test_alu32_results_zero_extended(self, a, b):
+        for op in ("add", "sub", "xor", "or", "and", "mov"):
+            s = concrete_state(r1=a, r2=b)
+            t = run_insn(alu(op, 1, ("r", 2), alu64=False), s)
+            assert t.regs[1].as_int() >> 32 == 0, op
+
+    def test_add32_boundary(self):
+        s = concrete_state(r1=0xFFFFFFFF, r2=1)
+        t = run_insn(alu("add", 1, ("r", 2), alu64=False), s)
+        assert t.regs[1].as_int() == 0  # wraps in 32 bits, zext
+
+    def test_mov32_truncates_and_zero_extends(self):
+        s = concrete_state(r1=0, r2=0xAAAABBBBCCCCDDDD)
+        t = run_insn(alu("mov", 1, ("r", 2), alu64=False), s)
+        assert t.regs[1].as_int() == 0xCCCCDDDD
+
+    def test_arsh32_uses_bit31(self):
+        s = concrete_state(r1=0x80000000, r2=31)
+        t = run_insn(alu("arsh", 1, ("r", 2), alu64=False), s)
+        assert t.regs[1].as_int() == 0xFFFFFFFF  # sign = bit31, zext
+
+    def test_shift32_masks_to_31(self):
+        s = concrete_state(r1=1, r2=33)
+        t = run_insn(alu("lsh", 1, ("r", 2), alu64=False), s)
+        assert t.regs[1].as_int() == 2
+
+    def test_neg32(self):
+        s = concrete_state(r1=1)
+        t = run_insn(alu("neg", 1, 0, alu64=False), s)
+        assert t.regs[1].as_int() == 0xFFFFFFFF
+
+
+class TestJumps:
+    def test_jeq_taken(self):
+        s = concrete_state(r1=5, r2=5)
+        t = run_insn(jmp("jeq", 1, ("r", 2), off=3), s)
+        assert t.pc.as_int() == 4
+
+    def test_jmp32_compares_low_words(self):
+        s = concrete_state(r1=0x1_00000005, r2=0x2_00000005)
+        t = run_insn(jmp("jeq", 1, ("r", 2), off=3, jmp32=True), s)
+        assert t.pc.as_int() == 4  # low words equal
+        t = run_insn(jmp("jeq", 1, ("r", 2), off=3, jmp32=False), s)
+        assert t.pc.as_int() == 1  # full regs differ
+
+    def test_signed_compare(self):
+        s = concrete_state(r1=2**64 - 1, r2=1)  # -1 vs 1
+        t = run_insn(jmp("jslt", 1, ("r", 2), off=2), s)
+        assert t.pc.as_int() == 3
+
+    def test_jset(self):
+        s = concrete_state(r1=0b1010, r2=0b0010)
+        t = run_insn(jmp("jset", 1, ("r", 2), off=1), s)
+        assert t.pc.as_int() == 2
+
+
+class TestLifting:
+    def test_program_with_branch_verifies(self):
+        prog = [
+            jmp("jeq", 1, 0, off=1),  # if r1 == 0 skip
+            alu("mov", 0, 1),         # r0 = 1
+            exit_(),
+        ]
+        with new_context():
+            s = BpfState.symbolic("tl")
+            r1 = s.regs[1]
+            final = run_interpreter(BpfInterp(prog), s, EngineOptions(fuel=100)).merged()
+            assert prove(sym_implies(r1 != 0, final.regs[0] == 1)).proved
+            assert prove(sym_implies(r1 == 0, final.regs[0] == s.regs[0])).proved

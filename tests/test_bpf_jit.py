@@ -1,0 +1,100 @@
+"""Tests for the BPF JIT checker (§7): fixed JITs verify; every
+cataloged bug is found on its witness instruction."""
+
+import pytest
+
+from repro.bpf.insn import alu, jmp
+from repro.bpf_jit import (
+    RV_BUGS,
+    X86_BUGS,
+    RvJit,
+    X86Jit,
+    check_rv_insn,
+    check_x86_insn,
+)
+
+
+class TestFixedRvJit:
+    @pytest.mark.parametrize("op", ["add", "sub", "and", "or", "xor", "mov", "neg"])
+    @pytest.mark.parametrize("alu64", [True, False])
+    def test_alu_reg(self, op, alu64):
+        assert check_rv_insn(alu(op, 1, ("r", 2), alu64=alu64), RvJit()).ok
+
+    @pytest.mark.parametrize("op", ["lsh", "rsh", "arsh"])
+    @pytest.mark.parametrize("alu64", [True, False])
+    def test_shift_reg(self, op, alu64):
+        assert check_rv_insn(alu(op, 1, ("r", 2), alu64=alu64), RvJit()).ok
+
+    @pytest.mark.parametrize("imm", [0, 1, 31])
+    def test_shift32_imm(self, imm):
+        for op in ("lsh", "rsh", "arsh"):
+            assert check_rv_insn(alu(op, 1, imm, alu64=False), RvJit()).ok
+
+    @pytest.mark.parametrize("imm", [0, 1, 31, 32, 63])
+    def test_shift64_imm(self, imm):
+        for op in ("lsh", "rsh", "arsh"):
+            assert check_rv_insn(alu(op, 1, imm, alu64=True), RvJit()).ok
+
+    @pytest.mark.parametrize("imm", [-1, -2048, 2047, 12345])
+    def test_imm_operands(self, imm):
+        assert check_rv_insn(alu("add", 1, imm, alu64=True), RvJit()).ok
+        assert check_rv_insn(alu("mov", 1, imm, alu64=False), RvJit()).ok
+
+    @pytest.mark.parametrize("op", ["jeq", "jlt", "jge"])
+    def test_jmp32(self, op):
+        assert check_rv_insn(jmp(op, 1, ("r", 2), off=3, jmp32=True), RvJit()).ok
+
+
+class TestFixedX86Jit:
+    @pytest.mark.parametrize("op", ["add", "sub", "and", "or", "xor", "mov", "neg"])
+    def test_alu64_reg(self, op):
+        assert check_x86_insn(alu(op, 1, ("r", 2), alu64=True), X86Jit()).ok
+
+    @pytest.mark.parametrize("op", ["add", "sub", "and", "or", "xor", "mov"])
+    def test_alu32_reg(self, op):
+        assert check_x86_insn(alu(op, 1, ("r", 2), alu64=False), X86Jit()).ok
+
+    @pytest.mark.parametrize("imm", [0, 1, 31, 32, 33, 63])
+    @pytest.mark.parametrize("op", ["lsh", "rsh", "arsh"])
+    def test_shift64_imm(self, op, imm):
+        assert check_x86_insn(alu(op, 1, imm, alu64=True), X86Jit()).ok
+
+    def test_mov32_imm(self):
+        assert check_x86_insn(alu("mov", 1, 5, alu64=False), X86Jit()).ok
+        assert check_x86_insn(alu("mov", 1, -1, alu64=False), X86Jit()).ok
+
+
+class TestBugCatalog:
+    """Each of the 15 cataloged bugs is observable on its witness (§7:
+    9 RISC-V + 6 x86-32)."""
+
+    @pytest.mark.parametrize("bug", RV_BUGS, ids=lambda b: b.id)
+    def test_rv_bug_found(self, bug):
+        result = check_rv_insn(bug.witness, RvJit(bugs={bug.id}))
+        assert not result.ok, f"{bug.id} not detected"
+        assert result.counterexample is not None
+
+    @pytest.mark.parametrize("bug", X86_BUGS, ids=lambda b: b.id)
+    def test_x86_bug_found(self, bug):
+        result = check_x86_insn(bug.witness, X86Jit(bugs={bug.id}))
+        assert not result.ok, f"{bug.id} not detected"
+        assert result.counterexample is not None
+
+    def test_catalog_size_matches_paper(self):
+        assert len(RV_BUGS) == 9
+        assert len(X86_BUGS) == 6
+
+    def test_fixed_jits_pass_all_witnesses(self):
+        for bug in RV_BUGS:
+            assert check_rv_insn(bug.witness, RvJit()).ok, bug.id
+        for bug in X86_BUGS:
+            assert check_x86_insn(bug.witness, X86Jit()).ok, bug.id
+
+    def test_counterexample_is_actionable(self):
+        """Counterexamples seed regression tests (as the kernel patches
+        did): the model gives concrete register values."""
+        bug = RV_BUGS[0]
+        result = check_rv_insn(bug.witness, RvJit(bugs={bug.id}))
+        model = result.counterexample
+        # The witness operates on r1/r2; the model binds their symbols.
+        assert any("r1" in name or "r2" in name for name, _ in model.items())

@@ -1,0 +1,196 @@
+"""Tests for the mini-C compiler: differential execution across -O0/-O1/-O2."""
+
+import pytest
+
+from repro.cc import (
+    Arg,
+    Assign,
+    BinOp,
+    Call,
+    Cmp,
+    CompileError,
+    Const,
+    CsrRead,
+    CsrWrite,
+    Func,
+    GlobalAddr,
+    If,
+    Load,
+    Program,
+    Return,
+    Store,
+    Var,
+    While,
+    compile_program,
+)
+from repro.core import run_interpreter
+from repro.core.image import build_memory
+from repro.riscv import Assembler, CpuState, RiscvInterp
+from repro.sym import bv_val, new_context, prove, sym_implies, verify_vcs
+
+XLEN = 32
+STACK = ("stack", 0x9000, 256, ("array", 64, ("cell", 4)))
+
+
+def run_func(func: Func, args: list[int], opt: int, data=(), symbolic_args=False):
+    prog = Program(funcs=[func], data=list(data) + [STACK])
+    asm = Assembler(base=0x1000, xlen=XLEN)
+    asm.data_symbol(*STACK)
+    asm.label("entry")
+    asm.li("sp", 0x9000 + 256)
+    asm.call(func.name)
+    asm.mret()
+    compile_program(prog, asm, opt)
+    image = asm.assemble()
+    with new_context() as ctx:
+        cpu = CpuState.symbolic(XLEN, 0x1000, build_memory(image, addr_width=XLEN))
+        arg_values = []
+        for i, a in enumerate(args):
+            if not symbolic_args:
+                cpu.set_reg(10 + i, bv_val(a, XLEN))
+            arg_values.append(cpu.reg(10 + i))
+        final = run_interpreter(RiscvInterp(image, xlen=XLEN), cpu).merged()
+        return final, arg_values, ctx
+
+
+ABS = Func(
+    "abs",
+    1,
+    (
+        If(Cmp("<s", Arg(0), Const(0)), (Return(BinOp("-", Const(0), Arg(0))),)),
+        Return(Arg(0)),
+    ),
+    locals=(),
+)
+
+SUM3 = Func(
+    "sum3",
+    3,
+    (
+        Assign("t", BinOp("+", Arg(0), Arg(1))),
+        Return(BinOp("+", Var("t"), Arg(2))),
+    ),
+    locals=("t",),
+)
+
+LOOP = Func(
+    "tri",
+    1,
+    (
+        Assign("acc", Const(0)),
+        Assign("i", Const(0)),
+        While(
+            Cmp("<u", Var("i"), Const(5)),
+            (
+                Assign("acc", BinOp("+", Var("acc"), Var("i"))),
+                Assign("i", BinOp("+", Var("i"), Const(1))),
+            ),
+        ),
+        Return(Var("acc")),
+    ),
+    locals=("acc", "i"),
+)
+
+
+@pytest.mark.parametrize("opt", [0, 1, 2])
+class TestConcreteExecution:
+    def test_abs(self, opt):
+        final, _, _ = run_func(ABS, [(-7) & 0xFFFFFFFF], opt)
+        assert final.reg(10).as_int() == 7
+        final, _, _ = run_func(ABS, [9], opt)
+        assert final.reg(10).as_int() == 9
+
+    def test_sum3(self, opt):
+        final, _, _ = run_func(SUM3, [1, 2, 3], opt)
+        assert final.reg(10).as_int() == 6
+
+    def test_loop(self, opt):
+        final, _, _ = run_func(LOOP, [0], opt)
+        assert final.reg(10).as_int() == 10
+
+    def test_csr_access(self, opt):
+        f = Func(
+            "swapcsr",
+            1,
+            (CsrWrite("mscratch", Arg(0)), Return(CsrRead("mscratch"))),
+            locals=(),
+        )
+        final, _, _ = run_func(f, [0xABCD], opt)
+        assert final.reg(10).as_int() == 0xABCD
+
+
+@pytest.mark.parametrize("opt", [0, 1, 2])
+def test_symbolic_equivalence_to_spec(opt):
+    """abs() compiled at any level refines its mathematical spec."""
+    final, args, ctx = run_func(ABS, [0], opt, symbolic_args=True)
+    x = args[0]
+    from repro.sym import ite
+
+    spec = ite(x.slt(0), -x, x)
+    assert prove(final.reg(10) == spec).proved
+    assert verify_vcs(ctx).proved
+
+
+def test_opt_levels_reduce_code_size():
+    sizes = {}
+    for opt in (0, 1, 2):
+        prog = Program(funcs=[SUM3, ABS], data=[STACK])
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        compile_program(prog, asm, opt)
+        sizes[opt] = len(asm.assemble().words)
+    assert sizes[0] > sizes[1] >= sizes[2]
+
+
+def test_constant_folding_at_o1():
+    f = Func("k", 0, (Return(BinOp("+", BinOp("*", Const(6), Const(7)), Const(0))),), locals=())
+    for opt in (1, 2):
+        final, _, _ = run_func(f, [], opt)
+        assert final.reg(10).as_int() == 42
+
+
+class TestCompilerErrors:
+    def test_too_many_locals_at_o1(self):
+        f = Func("big", 0, (Return(Const(0)),), locals=tuple(f"l{i}" for i in range(20)))
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        with pytest.raises(CompileError):
+            compile_program(Program(funcs=[f]), asm, 1)
+
+    def test_unknown_local(self):
+        f = Func("bad", 0, (Assign("nope", Const(1)), Return(Const(0))), locals=())
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        with pytest.raises(CompileError):
+            compile_program(Program(funcs=[f]), asm, 1)
+
+    def test_bad_opt_level(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        with pytest.raises(CompileError):
+            compile_program(Program(funcs=[]), asm, 3)
+
+
+def test_function_calls_preserve_callee_saved():
+    callee = Func("double", 1, (Return(BinOp("+", Arg(0), Arg(0))),), locals=())
+    caller = Func(
+        "caller",
+        1,
+        (
+            Assign("saved", Arg(0)),
+            Assign("r", Call("double", (Arg(0),))),
+            Return(BinOp("+", Var("r"), Var("saved"))),
+        ),
+        locals=("saved", "r"),
+    )
+    for opt in (0, 1, 2):
+        prog = Program(funcs=[caller, callee], data=[STACK])
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.data_symbol(*STACK)
+        asm.label("entry")
+        asm.li("sp", 0x9000 + 256)
+        asm.call("caller")
+        asm.mret()
+        compile_program(prog, asm, opt)
+        image = asm.assemble()
+        with new_context():
+            cpu = CpuState.symbolic(XLEN, 0x1000, build_memory(image, addr_width=XLEN))
+            cpu.set_reg(10, bv_val(21, XLEN))
+            final = run_interpreter(RiscvInterp(image, xlen=XLEN), cpu).merged()
+        assert final.reg(10).as_int() == 63, f"O{opt}"

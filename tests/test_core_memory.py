@@ -1,0 +1,182 @@
+"""Tests for the Serval memory model (§3.4) and the §4 symbolic-address
+optimization."""
+
+import pytest
+
+from repro.core import MCell, Memory, MemoryOptions, MStruct, MUniform, Region
+from repro.core.errors import MemoryModelError
+from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies, verify_vcs
+
+OPTS = MemoryOptions()
+
+
+def make_proc_array(count=4, width=4):
+    """An array of struct proc { state; quota; owner; } like CertiKOS."""
+    def mk():
+        return MStruct(
+            [("state", MCell(width)), ("quota", MCell(width)), ("owner", MCell(width))]
+        )
+
+    return MUniform([mk() for _ in range(count)])
+
+
+class TestCells:
+    def test_full_cell_roundtrip(self):
+        c = MCell(4)
+        c.store(bv_val(0, 32), bv_val(0xDEADBEEF, 32), OPTS)
+        assert c.load(bv_val(0, 32), 4, OPTS).as_int() == 0xDEADBEEF
+
+    def test_subcell_byte_access(self):
+        c = MCell(4, 0x11223344)
+        assert c.load(bv_val(0, 32), 1, OPTS).as_int() == 0x44
+        assert c.load(bv_val(3, 32), 1, OPTS).as_int() == 0x11
+        c.store(bv_val(1, 32), bv_val(0xAB, 8), OPTS)
+        assert c.load(bv_val(0, 32), 4, OPTS).as_int() == 0x1122AB44
+
+    def test_subcell_halfword(self):
+        c = MCell(8, 0x1122334455667788)
+        assert c.load(bv_val(4, 32), 2, OPTS).as_int() == 0x3344
+        c.store(bv_val(6, 32), bv_val(0xBEEF, 16), OPTS)
+        assert c.load(bv_val(0, 32), 8, OPTS).as_int() == 0xBEEF334455667788
+
+    def test_oversized_access_rejected(self):
+        with pytest.raises(MemoryModelError):
+            MCell(4).load(bv_val(2, 32), 4, OPTS)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(MemoryModelError):
+            MCell(4, bv_val(0, 16))
+
+
+class TestUniformConcrete:
+    def test_concrete_index(self):
+        arr = make_proc_array()
+        # proc[2].quota is at offset 2*12 + 4
+        arr.store(bv_val(28, 32), bv_val(7, 32), OPTS)
+        assert arr.load(bv_val(28, 32), 4, OPTS).as_int() == 7
+        # Other elements untouched.
+        assert arr.load(bv_val(16, 32), 4, OPTS).as_int() == 0
+
+    def test_out_of_bounds_concrete(self):
+        arr = make_proc_array()
+        with pytest.raises(MemoryModelError):
+            arr.load(bv_val(48, 32), 4, OPTS)
+
+
+class TestUniformSymbolicIndex:
+    """The §4 optimization: (C0*pid + C1) offsets concretize."""
+
+    def test_symbolic_load_resolves(self):
+        with new_context() as ctx:
+            arr = make_proc_array()
+            arr.store(bv_val(12 * 2 + 4, 32), bv_val(99, 32), OPTS)
+            pid = fresh_bv("mm_pid", 32)
+            value = arr.load(pid * 12 + 4, 4, OPTS)
+            # Under pid==2 the load returns the stored 99.
+            assert prove(sym_implies(pid == 2, value == 99)).proved
+            # The emitted side condition requires pid < 4.
+            assert len(ctx.vcs) == 1
+            assert "out of bounds" in ctx.vcs[0].message
+            with new_context() as inner:
+                with inner.under(pid < 4):
+                    arr.load(pid * 12 + 4, 4, OPTS)
+                assert verify_vcs(inner).proved
+
+    def test_symbolic_store_hits_only_target(self):
+        with new_context():
+            arr = make_proc_array()
+            for i in range(4):
+                arr.store(bv_val(12 * i + 4, 32), bv_val(i, 32), OPTS)
+            pid = fresh_bv("mm_pid2", 32)
+            arr.store(pid * 12 + 4, bv_val(0xAA, 32), OPTS)
+            v3 = arr.load(bv_val(12 * 3 + 4, 32), 4, OPTS)
+            # quota[3] changed iff pid == 3.
+            assert prove(sym_implies(pid == 3, v3 == 0xAA)).proved
+            assert prove(sym_implies(pid == 1, v3 == 3)).proved
+
+    def test_fanout_fallback_when_disabled(self):
+        """With concretization off, symbolic access falls back to the
+        naive fan-out (the E5 ablation's slow path)."""
+        opts = MemoryOptions(concretize_offsets=False)
+        with new_context() as ctx:
+            arr = MUniform([MCell(4, i * 10) for i in range(4)])
+            idx = fresh_bv("mm_idx", 32)
+            value = arr.load(idx * 4, 4, opts)
+            assert prove(sym_implies(idx == 2, value == 20), assumptions=[idx < 4]).proved
+
+    def test_mismatched_scale_falls_back(self):
+        """Offsets that do not match the element stride still work via
+        fan-out (soundness of the optimization's applicability test)."""
+        with new_context():
+            arr = MUniform([MCell(4, i) for i in range(4)])
+            idx = fresh_bv("mm_idx2", 32)
+            value = arr.load(idx * 8, 4, OPTS)  # stride 8 != elem 4
+            assert prove(sym_implies(idx == 1, value == 2), assumptions=[idx < 2]).proved
+
+
+class TestStruct:
+    def test_field_offsets(self):
+        s = MStruct([("a", MCell(4)), ("b", MCell(8)), ("c", MCell(4))])
+        assert s.field_offset("a") == 0
+        assert s.field_offset("b") == 4
+        assert s.field_offset("c") == 12
+        assert s.size() == 16
+
+    def test_load_store_by_offset(self):
+        s = MStruct([("a", MCell(4)), ("b", MCell(4))])
+        s.store(bv_val(4, 32), bv_val(5, 32), OPTS)
+        assert s.load(bv_val(4, 32), 4, OPTS).as_int() == 5
+        assert s.load(bv_val(0, 32), 4, OPTS).as_int() == 0
+
+
+class TestMemoryRegions:
+    def make_memory(self):
+        return Memory(
+            [
+                Region("procs", 0x1000, make_proc_array()),
+                Region("stack", 0x2000, MUniform([MCell(4) for _ in range(16)])),
+            ],
+            OPTS,
+        )
+
+    def test_concrete_address(self):
+        mem = self.make_memory()
+        mem.store(bv_val(0x2004, 32), bv_val(42, 32))
+        assert mem.load(bv_val(0x2004, 32), 4).as_int() == 42
+
+    def test_symbolic_address_anchors_to_region(self):
+        with new_context() as ctx:
+            mem = self.make_memory()
+            pid = fresh_bv("mm_pid3", 32)
+            addr = pid * 12 + 0x1004  # &procs[pid].quota
+            mem.store(addr, bv_val(77, 32))
+            got = mem.load(bv_val(0x1000 + 12 + 4, 32), 4)
+            assert prove(sym_implies(pid == 1, got == 77)).proved
+
+    def test_unmapped_address_rejected(self):
+        mem = self.make_memory()
+        with pytest.raises(MemoryModelError):
+            mem.load(bv_val(0x9000, 32), 4)
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(MemoryModelError):
+            Memory(
+                [
+                    Region("a", 0x1000, MCell(8)),
+                    Region("b", 0x1004, MCell(8)),
+                ]
+            )
+
+    def test_read_only_region(self):
+        with new_context() as ctx:
+            mem = Memory([Region("rodata", 0x100, MCell(4, 7), writable=False)])
+            mem.store(bv_val(0x100, 32), bv_val(9, 32))
+            result = verify_vcs(ctx)
+        assert not result.proved
+        assert "read-only" in result.failed_vc.message
+
+    def test_copy_isolates(self):
+        mem = self.make_memory()
+        snap = mem.copy()
+        mem.store(bv_val(0x2000, 32), bv_val(1, 32))
+        assert snap.load(bv_val(0x2000, 32), 4).as_int() == 0

@@ -1,0 +1,83 @@
+"""Tests for the symbolic-optimization library (§4)."""
+
+from repro.core.symopt import SymOptConfig, concretize, rewrite_with_invariant, split_cases, split_cases_value
+from repro.sym import bv_val, fresh_bv, ite, new_context, prove, sym_implies, verify_vcs
+
+
+class TestSplitCasesValue:
+    def test_identity_semantics(self):
+        x = fresh_bv("so_x", 8)
+        rewritten = split_cases_value(x, [1, 2, 3])
+        assert prove(rewritten == x).proved
+
+    def test_exposes_concrete_leaves(self):
+        x = fresh_bv("so_x2", 8)
+        rewritten = split_cases_value(x, [5])
+        # shape: ite(x == 5, 5, x): downstream partial evaluation sees 5.
+        assert rewritten.term.op == "ite"
+        assert rewritten.term.args[1].payload == 5
+
+
+class TestSplitCasesApply:
+    def test_per_case_evaluation(self):
+        x = fresh_bv("so_y", 8)
+        calls = []
+
+        def handler(value):
+            calls.append(value)
+            return value + 1
+
+        out = split_cases(x, [0, 1], handler)
+        # handler ran once per concrete case plus the residual.
+        assert len(calls) == 3
+        assert prove(sym_implies(x == 0, out == 1)).proved
+        assert prove(sym_implies(x == 1, out == 2)).proved
+        assert prove(sym_implies(x == 7, out == 8)).proved
+
+    def test_default_handler_for_residual(self):
+        x = fresh_bv("so_z", 8)
+        out = split_cases(x, [0], lambda v: v + 1, default=lambda v: bv_val(0xFF, 8))
+        assert prove(sym_implies(x == 0, out == 1)).proved
+        assert prove(sym_implies(x == 9, out == 0xFF)).proved
+
+
+class TestConcretize:
+    def test_within_candidates_proves(self):
+        with new_context() as ctx:
+            x = fresh_bv("so_c", 8)
+            with ctx.under(x < 2):
+                out = concretize(x, [0, 1])
+            assert verify_vcs(ctx).proved
+            assert prove(sym_implies(x == 1, out == 1)).proved
+
+    def test_outside_candidates_fails(self):
+        with new_context() as ctx:
+            x = fresh_bv("so_c2", 8)
+            concretize(x, [0, 1], "cause register out of range")
+            result = verify_vcs(ctx)
+        assert not result.proved
+        assert result.failed_vc.message == "cause register out of range"
+
+
+class TestInvariantRewrite:
+    def test_unconditional(self):
+        reg = fresh_bv("so_r", 32)
+        out = rewrite_with_invariant(reg, 0x1000)
+        assert out.as_int() == 0x1000
+
+    def test_guarded(self):
+        reg = fresh_bv("so_r2", 32)
+        ri = reg == 0x1000
+        out = rewrite_with_invariant(reg, 0x1000, ri_holds=ri)
+        # Under RI the rewrite is exact; outside it degrades to reg.
+        assert prove(out == reg).proved
+
+
+class TestConfig:
+    def test_defaults_all_on(self):
+        cfg = SymOptConfig()
+        assert cfg.split_pc and cfg.split_cases and cfg.concretize_offsets
+
+    def test_none_disables(self):
+        cfg = SymOptConfig.none()
+        assert not (cfg.split_pc or cfg.split_cases or cfg.concretize_offsets)

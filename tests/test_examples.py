@@ -1,0 +1,36 @@
+"""Smoke tests: the runnable examples exercise the public API.
+
+Only the fast examples run here (the monitor demos re-prove multi-
+minute refinement theorems and are exercised by the benchmarks).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout=480) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "refinement proved: True" in out
+    assert "step consistency proved: True" in out
+    assert "sign(0x2a) = 0x1" in out
+
+
+def test_keystone_audit():
+    out = run_example("keystone_audit.py")
+    assert "enclave independence (create restricted to host): True" in out
+    assert "oversized" in out
+    assert "UB findings on the fixed monitor: []" in out

@@ -1,0 +1,114 @@
+"""Cross-layer integration tests: one scenario per verification stack
+path the paper describes (Figure 1), exercised end to end.
+"""
+
+from repro.core import EngineOptions, run_interpreter
+from repro.core.image import build_memory
+from repro.riscv import Assembler, CpuState, RiscvInterp
+from repro.sym import bv_val, new_context, prove, sym_implies, verify_vcs
+
+
+class TestBinaryToTheorem:
+    """C-like source -> compiler -> binary -> lifted verifier -> SMT."""
+
+    def test_compiled_min_function_refines_spec(self):
+        from repro.cc import Arg, Cmp, Func, If, Program, Return, compile_program
+        from repro.sym import ite
+
+        func = Func(
+            "minimum",
+            2,
+            (If(Cmp("<u", Arg(0), Arg(1)), (Return(Arg(0)),), (Return(Arg(1)),)),),
+            locals=(),
+        )
+        for opt in (0, 1, 2):
+            asm = Assembler(base=0x1000, xlen=32)
+            asm.data_symbol("stack", 0x9000, 128, ("array", 32, ("cell", 4)))
+            asm.label("entry")
+            asm.li("sp", 0x9000 + 128)
+            asm.call("minimum")
+            asm.mret()
+            compile_program(Program(funcs=[func]), asm, opt)
+            image = asm.assemble()
+            with new_context() as ctx:
+                cpu = CpuState.symbolic(32, 0x1000, build_memory(image, addr_width=32))
+                a, b = cpu.reg(10), cpu.reg(11)
+                final = run_interpreter(RiscvInterp(image, xlen=32), cpu).merged()
+                spec = ite(a < b, a, b)
+                assert prove(final.reg(10) == spec).proved, f"O{opt}"
+                assert verify_vcs(ctx).proved
+
+    def test_same_source_all_levels_agree(self):
+        """-O0/-O1/-O2 binaries of the same source are pairwise
+        equivalent under symbolic execution — a translation-validation
+        shape (§2 discusses Sewell-style translation validation)."""
+        from repro.cc import Arg, BinOp, Const, Func, Program, compile_program
+        from repro.cc.ast import Return
+
+        func = Func(
+            "mix", 2, (Return(BinOp("^", BinOp("+", Arg(0), Const(13)), Arg(1))),), locals=()
+        )
+        results = []
+        with new_context():
+            from repro.sym import named_bv
+
+            a = named_bv("is_a", 32)
+            b = named_bv("is_b", 32)
+            for opt in (0, 1, 2):
+                asm = Assembler(base=0x1000, xlen=32)
+                asm.data_symbol("stack", 0x9000, 128, ("array", 32, ("cell", 4)))
+                asm.label("entry")
+                asm.li("sp", 0x9000 + 128)
+                asm.call("mix")
+                asm.mret()
+                compile_program(Program(funcs=[func]), asm, opt)
+                image = asm.assemble()
+                cpu = CpuState.symbolic(32, 0x1000, build_memory(image, addr_width=32))
+                cpu.set_reg(10, a)
+                cpu.set_reg(11, b)
+                final = run_interpreter(RiscvInterp(image, xlen=32), cpu).merged()
+                results.append(final.reg(10))
+            assert prove(results[0] == results[1]).proved
+            assert prove(results[1] == results[2]).proved
+
+
+class TestJitPipelineIntegration:
+    """BPF bytes -> decode -> JIT -> RISC-V -> equivalence theorem."""
+
+    def test_bytes_to_equivalence_theorem(self):
+        from repro.bpf import alu, decode_program, encode_program
+        from repro.bpf_jit import RvJit, check_rv_insn
+
+        raw = encode_program([alu("xor", 1, ("r", 2), alu64=False)])
+        insn = decode_program(raw)[0]
+        assert check_rv_insn(insn, RvJit()).ok
+
+
+class TestMonitorCrossChecks:
+    """Spec-level and binary-level artifacts agree with each other."""
+
+    def test_certikos_ri_spec_and_impl_aligned(self):
+        """A state satisfying the impl RI abstracts to a state
+        satisfying the spec invariant."""
+        from repro.certikos import CertikosVerifier
+        from repro.certikos.invariants import abstract, rep_invariant
+        from repro.certikos.spec import state_invariant
+
+        v = CertikosVerifier(opt=1)
+        with new_context():
+            cpu = v.make_cpu()
+            assert prove(
+                sym_implies(rep_invariant(cpu), state_invariant(abstract(cpu)))
+            ).proved
+
+    def test_komodo_ri_spec_and_impl_aligned(self):
+        from repro.komodo import KomodoVerifier
+        from repro.komodo.invariants import abstract, rep_invariant
+        from repro.komodo.spec import state_invariant
+
+        v = KomodoVerifier(opt=1)
+        with new_context():
+            cpu = v.make_cpu()
+            assert prove(
+                sym_implies(rep_invariant(cpu), state_invariant(abstract(cpu)))
+            ).proved

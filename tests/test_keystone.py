@@ -1,0 +1,101 @@
+"""Keystone case-study tests (§7): UB bugs, interface findings."""
+
+from repro.core import prove_invariant_step
+from repro.keystone import (
+    HOST,
+    KEYSTONE_BUG_IDS,
+    KeystoneState,
+    build_module,
+    prove_enclave_independence,
+    prove_pmp_sufficient,
+    scan_for_ub,
+    spec_create,
+    spec_destroy,
+    spec_exit,
+    spec_run,
+    spec_stop,
+    state_invariant,
+)
+from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies
+
+
+class TestUbScanning:
+    def test_fixed_monitor_is_ub_free(self):
+        assert scan_for_ub() == []
+
+    def test_oversized_shift_found_on_all_three_calls(self):
+        findings = scan_for_ub({"oversized-shift"})
+        assert len(findings) == 3
+        assert all("oversized" in f.message for f in findings)
+        assert {f.function for f in findings} == {
+            "sbi_create_enclave",
+            "sbi_run_enclave",
+            "sbi_stop_enclave",
+        }
+
+    def test_buffer_overflow_found_on_all_three_calls(self):
+        findings = scan_for_ub({"buffer-overflow"})
+        assert len(findings) >= 3
+        assert {f.function for f in findings} == {
+            "sbi_create_enclave",
+            "sbi_run_enclave",
+            "sbi_stop_enclave",
+        }
+
+    def test_both_bugs_together(self):
+        findings = scan_for_ub(set(KEYSTONE_BUG_IDS))
+        kinds = {f.message for f in findings}
+        assert any("oversized" in k for k in kinds)
+        assert any("bounds" in k or "region" in k for k in kinds)
+
+
+class TestInterfaceFindings:
+    def test_enclave_independence_holds_for_fixed_spec(self):
+        assert prove_enclave_independence(allow_nested_create=False).proved
+
+    def test_nested_create_violates_independence(self):
+        """The flaw reported to (and fixed by) Keystone's developers."""
+        result = prove_enclave_independence(allow_nested_create=True)
+        assert not result.proved
+        assert result.counterexample is not None
+
+    def test_pmp_alone_isolates(self):
+        """The second suggestion: page-table checks are unnecessary."""
+        assert prove_pmp_sufficient().proved
+
+
+class TestSpecSanity:
+    def test_invariant_preserved_by_lifecycle(self):
+        eid = fresh_bv("tk.eid", 32)
+        region = fresh_bv("tk.region", 32)
+        payload = fresh_bv("tk.payload", 32)
+        steps = {
+            "create": lambda s: spec_create(s, eid, region, payload),
+            "run": lambda s: spec_run(s, eid),
+            "stop": lambda s: spec_stop(s, eid),
+            "destroy": lambda s: spec_destroy(s, eid),
+            "exit": lambda s: spec_exit(s),
+        }
+        for name, step in steps.items():
+            r = prove_invariant_step(f"keystone.{name}", state_invariant, step, KeystoneState)
+            assert r.proved, f"{name}: {r.describe()}"
+
+    def test_destroy_erases_measurement(self):
+        with new_context():
+            s = KeystoneState.fresh("tk.s")
+            eid = fresh_bv("tk.eid2", 32)
+            t = spec_destroy(s, eid)
+            for i in range(len(t.measure)):
+                gone = sym_implies(
+                    state_invariant(s) & (eid == i) & (t.status[i] == 0) & (s.status[i] == 3),
+                    t.measure[i] == 0,
+                )
+                assert prove(gone).proved
+
+    def test_only_host_runs_enclaves(self):
+        with new_context():
+            s = KeystoneState.fresh("tk.s2")
+            eid = fresh_bv("tk.eid3", 32)
+            t = spec_run(s, eid)
+            changed = t.cur != s.cur
+            assert prove(sym_implies(changed, s.cur == HOST)).proved

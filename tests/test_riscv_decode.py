@@ -1,0 +1,134 @@
+"""Encoder/decoder tests, including the §3.4 validation story."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.riscv import DecodeError, Insn, decode, decode_validated, encode
+from repro.riscv.insn import SPEC
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def roundtrip(insn: Insn, xlen=64) -> Insn:
+    return decode(encode(insn, xlen), xlen)
+
+
+class TestRoundTrip:
+    @given(rd=regs, rs1=regs, rs2=regs)
+    @settings(max_examples=25, deadline=None)
+    def test_r_type(self, rd, rs1, rs2):
+        for name in ("add", "sub", "xor", "sltu", "mul", "divu", "remw", "sraw"):
+            insn = Insn(name, rd=rd, rs1=rs1, rs2=rs2)
+            assert roundtrip(insn) == insn
+
+    @given(rd=regs, rs1=regs, imm=st.integers(min_value=-2048, max_value=2047))
+    @settings(max_examples=25, deadline=None)
+    def test_i_type(self, rd, rs1, imm):
+        for name in ("addi", "andi", "ori", "xori", "slti", "lw", "ld", "lbu", "jalr"):
+            insn = Insn(name, rd=rd, rs1=rs1, imm=imm)
+            assert roundtrip(insn) == insn
+
+    @given(rd=regs, rs1=regs, shamt=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=25, deadline=None)
+    def test_shifts_rv64(self, rd, rs1, shamt):
+        for name in ("slli", "srli", "srai"):
+            insn = Insn(name, rd=rd, rs1=rs1, imm=shamt)
+            assert roundtrip(insn) == insn
+
+    @given(rd=regs, rs1=regs, shamt=st.integers(min_value=0, max_value=31))
+    @settings(max_examples=15, deadline=None)
+    def test_shifts_w(self, rd, rs1, shamt):
+        for name in ("slliw", "srliw", "sraiw"):
+            insn = Insn(name, rd=rd, rs1=rs1, imm=shamt)
+            assert roundtrip(insn) == insn
+
+    @given(rs1=regs, rs2=regs, imm=st.integers(min_value=-2048, max_value=2047))
+    @settings(max_examples=25, deadline=None)
+    def test_s_type(self, rs1, rs2, imm):
+        for name in ("sb", "sh", "sw", "sd"):
+            insn = Insn(name, rs1=rs1, rs2=rs2, imm=imm)
+            assert roundtrip(insn) == insn
+
+    @given(rs1=regs, rs2=regs, imm=st.integers(min_value=-2048, max_value=2047))
+    @settings(max_examples=25, deadline=None)
+    def test_b_type(self, rs1, rs2, imm):
+        imm = imm * 2  # branch offsets are even
+        for name in ("beq", "bne", "blt", "bgeu"):
+            insn = Insn(name, rs1=rs1, rs2=rs2, imm=imm)
+            assert roundtrip(insn) == insn
+
+    @given(rd=regs, imm=st.integers(min_value=-(2**19), max_value=2**19 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_j_type(self, rd, imm):
+        insn = Insn("jal", rd=rd, imm=imm * 2)
+        assert roundtrip(insn) == insn
+
+    @given(rd=regs, imm=st.integers(min_value=0, max_value=0xFFFFF))
+    @settings(max_examples=25, deadline=None)
+    def test_u_type(self, rd, imm):
+        for name in ("lui", "auipc"):
+            insn = Insn(name, rd=rd, imm=imm << 12)
+            assert roundtrip(insn) == insn
+
+    @given(rd=regs, rs1=regs)
+    @settings(max_examples=15, deadline=None)
+    def test_csr(self, rd, rs1):
+        from repro.riscv.insn import CSRS
+
+        for name in ("csrrw", "csrrs", "csrrc"):
+            insn = Insn(name, rd=rd, rs1=rs1, imm=CSRS["mtvec"])
+            assert roundtrip(insn) == insn
+        for name in ("csrrwi", "csrrsi", "csrrci"):
+            insn = Insn(name, rd=rd, rs1=rs1, imm=CSRS["mscratch"])
+            assert roundtrip(insn) == insn
+
+    def test_sys(self):
+        for name in ("ecall", "ebreak", "mret", "wfi"):
+            assert roundtrip(Insn(name)) == Insn(name)
+
+
+class TestValidation:
+    def test_decode_validated_accepts_all_specs(self):
+        for name, spec in SPEC.items():
+            if spec.fmt == "R":
+                insn = Insn(name, rd=1, rs1=2, rs2=3)
+            elif spec.fmt in ("I",):
+                insn = Insn(name, rd=1, rs1=2, imm=5) if name not in ("fence", "fence.i") else Insn(name)
+            elif spec.fmt == "SHIFT":
+                insn = Insn(name, rd=1, rs1=2, imm=3)
+            elif spec.fmt == "S":
+                insn = Insn(name, rs1=2, rs2=3, imm=8)
+            elif spec.fmt == "B":
+                insn = Insn(name, rs1=2, rs2=3, imm=16)
+            elif spec.fmt == "U":
+                insn = Insn(name, rd=1, imm=0x1000)
+            elif spec.fmt == "J":
+                insn = Insn(name, rd=1, imm=32)
+            elif spec.fmt in ("CSR", "CSRI"):
+                insn = Insn(name, rd=1, rs1=2, imm=0x305)
+            else:
+                insn = Insn(name)
+            assert decode_validated(encode(insn)) == insn
+
+    def test_garbage_word_rejected(self):
+        with pytest.raises(DecodeError):
+            decode(0xFFFFFFFF)
+        with pytest.raises(DecodeError):
+            decode(0x00000000)
+
+    def test_bad_system_fields_rejected(self):
+        # mret with rd != 0 is not a valid encoding.
+        word = encode(Insn("mret")) | (1 << 7)
+        with pytest.raises(DecodeError):
+            decode(word)
+
+    def test_encode_range_checks(self):
+        from repro.riscv import EncodeError
+
+        with pytest.raises(EncodeError):
+            encode(Insn("addi", rd=1, rs1=1, imm=5000))
+        with pytest.raises(EncodeError):
+            encode(Insn("beq", rs1=1, rs2=2, imm=3))  # odd offset
+        with pytest.raises(EncodeError):
+            encode(Insn("lui", rd=1, imm=0x123))  # low bits set

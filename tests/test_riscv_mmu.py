@@ -1,0 +1,97 @@
+"""Tests for the three-level page-walk model (§6.1)."""
+
+from repro.core.memory import MCell, Memory, MUniform, Region
+from repro.riscv.mmu import PAGE_SIZE, PTE_R, PTE_U, PTE_V, PTE_W, PTE_X, make_pte, walk
+from repro.riscv.pmp import PMP_A_NAPOT, PMP_A_SHIFT, PMP_R, napot_region, pmp_check
+from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies
+
+W = 32
+
+ROOT = 0x0001_0000
+L2 = 0x0001_1000
+L3 = 0x0001_2000
+DATA_PPN = 0x80  # physical page 0x80000
+
+
+def make_tables(leaf_flags=PTE_V | PTE_R | PTE_W, vpn=(0, 0, 5)):
+    """Root -> L2 -> L3 with one mapping at the given VPN path."""
+    def table(entries):
+        cells = [MCell(4) for _ in range(16)]
+        for idx, val in entries.items():
+            cells[idx] = MCell(4, val)
+        return MUniform(cells)
+
+    regions = [
+        Region("root_pt", ROOT, table({vpn[0]: make_pte(L2 >> 12, PTE_V)})),
+        Region("l2_pt", L2, table({vpn[1]: make_pte(L3 >> 12, PTE_V)})),
+        Region("l3_pt", L3, table({vpn[2]: make_pte(DATA_PPN, leaf_flags)})),
+    ]
+    return Memory(regions, addr_width=W)
+
+
+def vaddr_for(vpn, off=0x123):
+    return bv_val((vpn[0] << 32) if False else (vpn[0] << (12 + 20)) | (vpn[1] << (12 + 10)) | (vpn[2] << 12) | off, W)
+
+
+class TestWalk:
+    def test_successful_translation(self):
+        with new_context():
+            mem = make_tables()
+            result = walk(mem, bv_val(ROOT, W), vaddr_for((0, 0, 5)))
+            assert prove(result.ok).proved
+            assert prove(result.paddr == (DATA_PPN << 12) + 0x123).proved
+            assert prove(result.readable).proved
+            assert prove(result.writable).proved
+            assert prove(~result.executable).proved
+
+    def test_unmapped_vpn_fails(self):
+        with new_context():
+            mem = make_tables()
+            result = walk(mem, bv_val(ROOT, W), vaddr_for((0, 0, 6)))
+            assert prove(~result.ok).proved
+
+    def test_invalid_leaf_fails(self):
+        with new_context():
+            mem = make_tables(leaf_flags=PTE_R | PTE_W)  # V bit clear
+            result = walk(mem, bv_val(ROOT, W), vaddr_for((0, 0, 5)))
+            assert prove(~result.ok).proved
+
+    def test_permission_bits_propagate(self):
+        with new_context():
+            mem = make_tables(leaf_flags=PTE_V | PTE_X | PTE_U)
+            result = walk(mem, bv_val(ROOT, W), vaddr_for((0, 0, 5)))
+            assert prove(result.executable).proved
+            assert prove(result.user).proved
+            assert prove(~result.writable).proved
+
+    def test_symbolic_offset_stays_in_page(self):
+        with new_context():
+            mem = make_tables()
+            off = fresh_bv("mmu.off", W)
+            # Construct the vaddr as concat(vpn bits, offset bits) so
+            # the VPN slices stay concrete under a symbolic offset.
+            va = bv_val(5, 20).concat(off.trunc(12))
+            result = walk(mem, bv_val(ROOT, W), va)
+            base = DATA_PPN << 12
+            assert prove(
+                sym_implies(result.ok, (result.paddr >= base) & (result.paddr < base + PAGE_SIZE))
+            ).proved
+
+
+class TestWalkPlusPmp:
+    def test_translation_gated_by_pmp(self):
+        """The §6.1 composition: whatever the OS put in the page
+        tables, the *physical* target must pass the PMP check."""
+        with new_context():
+            mem = make_tables()
+            result = walk(mem, bv_val(ROOT, W), vaddr_for((0, 0, 5)))
+            csrs = {n: bv_val(0, 64) for n in ["pmpcfg0"] + [f"pmpaddr{i}" for i in range(8)]}
+            # PMP region covers exactly the mapped physical page.
+            csrs["pmpcfg0"] = bv_val(PMP_R | (PMP_A_NAPOT << PMP_A_SHIFT), 64)
+            csrs["pmpaddr0"] = bv_val(napot_region(DATA_PPN << 12, PAGE_SIZE), 64)
+            allowed = pmp_check(csrs, result.paddr.zext(64), "r")
+            assert prove(sym_implies(result.ok, allowed)).proved
+            # And a region elsewhere denies it.
+            csrs["pmpaddr0"] = bv_val(napot_region(0x40000, PAGE_SIZE), 64)
+            denied = pmp_check(csrs, result.paddr.zext(64), "r")
+            assert prove(sym_implies(result.ok, ~denied)).proved

@@ -1,0 +1,117 @@
+"""PMP model tests, including the two U54 hardware quirks (§6.4)."""
+
+from repro.riscv import CpuState, QuirkConfig, counter_readable, napot_region, pmp_check
+from repro.riscv.pmp import PMP_A_NAPOT, PMP_A_SHIFT, PMP_A_TOR, PMP_R, PMP_W, PMP_X
+from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies
+
+XLEN = 64
+
+
+def make_csrs(**values):
+    csrs = {name: bv_val(0, XLEN) for name in
+            ["pmpcfg0"] + [f"pmpaddr{i}" for i in range(8)] + ["mcounteren"]}
+    for k, v in values.items():
+        csrs[k] = bv_val(v, XLEN) if isinstance(v, int) else v
+    return csrs
+
+
+def napot_cfg(perms, slot=0):
+    return (perms | (PMP_A_NAPOT << PMP_A_SHIFT)) << (8 * slot)
+
+
+class TestNapot:
+    def test_napot_encoding(self):
+        # 4KiB region at 0x8000: pmpaddr = (0x8000>>2) | (4096/8 - 1)
+        assert napot_region(0x8000, 4096) == (0x8000 >> 2) | 511
+
+    def test_inside_allowed_outside_denied(self):
+        csrs = make_csrs(
+            pmpcfg0=napot_cfg(PMP_R | PMP_W),
+            pmpaddr0=napot_region(0x8000, 4096),
+        )
+        inside = pmp_check(csrs, bv_val(0x8100, XLEN), "r")
+        outside = pmp_check(csrs, bv_val(0x9000, XLEN), "r")
+        assert prove(inside).proved
+        assert prove(~outside).proved
+
+    def test_permission_bits_respected(self):
+        csrs = make_csrs(
+            pmpcfg0=napot_cfg(PMP_R),
+            pmpaddr0=napot_region(0x8000, 4096),
+        )
+        assert prove(pmp_check(csrs, bv_val(0x8000, XLEN), "r")).proved
+        assert prove(~pmp_check(csrs, bv_val(0x8000, XLEN), "w")).proved
+        assert prove(~pmp_check(csrs, bv_val(0x8000, XLEN), "x")).proved
+
+    def test_symbolic_address_bound(self):
+        csrs = make_csrs(
+            pmpcfg0=napot_cfg(PMP_R | PMP_W | PMP_X),
+            pmpaddr0=napot_region(0x10000, 0x1000),
+        )
+        addr = fresh_bv("pmp_addr", XLEN)
+        ok = pmp_check(csrs, addr, "r")
+        assert prove(sym_implies((addr >= 0x10000) & (addr < 0x11000), ok)).proved
+        assert prove(sym_implies(addr < 0x10000, ~ok)).proved
+
+
+class TestTor:
+    def test_tor_range(self):
+        cfg = (PMP_R | (PMP_A_TOR << PMP_A_SHIFT)) << 8  # slot 1
+        csrs = make_csrs(
+            pmpcfg0=cfg,
+            pmpaddr0=0x8000 >> 2,
+            pmpaddr1=0xC000 >> 2,
+        )
+        assert prove(pmp_check(csrs, bv_val(0x9000, XLEN), "r")).proved
+        assert prove(~pmp_check(csrs, bv_val(0x7000, XLEN), "r")).proved
+        assert prove(~pmp_check(csrs, bv_val(0xC000, XLEN), "r")).proved
+
+
+class TestPriority:
+    def test_lowest_numbered_region_wins(self):
+        # Region 0 denies writes to a subrange; region 1 allows the
+        # enclosing range. Priority means the deny wins inside.
+        csrs = make_csrs(
+            pmpcfg0=napot_cfg(PMP_R, slot=0) | napot_cfg(PMP_R | PMP_W, slot=1),
+            pmpaddr0=napot_region(0x8000, 4096),
+            pmpaddr1=napot_region(0x0, 65536),
+        )
+        assert prove(~pmp_check(csrs, bv_val(0x8000, XLEN), "w")).proved
+        assert prove(pmp_check(csrs, bv_val(0xC000, XLEN), "w")).proved
+
+
+class TestU54Quirks:
+    def test_superpage_quirk_divergence(self):
+        """The buggy PMP check denies a superpage access the spec
+        allows: region covers the access but not the full superpage."""
+        csrs = make_csrs(
+            pmpcfg0=napot_cfg(PMP_R),
+            pmpaddr0=napot_region(0x200000, 4096),  # 4KiB inside a 2MiB superpage
+        )
+        addr = bv_val(0x200010, XLEN)
+        correct = pmp_check(csrs, addr, "r", QuirkConfig(), page_size=2 * 1024 * 1024)
+        buggy = pmp_check(
+            csrs, addr, "r", QuirkConfig(u54_pmp_superpage=True), page_size=2 * 1024 * 1024
+        )
+        assert prove(correct).proved
+        assert prove(~buggy).proved  # too strict: denies a legal access
+
+    def test_superpage_quirk_harmless_for_4k_pages(self):
+        """The paper's workaround: stop using superpages."""
+        csrs = make_csrs(
+            pmpcfg0=napot_cfg(PMP_R),
+            pmpaddr0=napot_region(0x200000, 4096),
+        )
+        addr = fresh_bv("pmp_q", XLEN)
+        correct = pmp_check(csrs, addr, "r", QuirkConfig(), page_size=4096)
+        buggy = pmp_check(csrs, addr, "r", QuirkConfig(u54_pmp_superpage=True), page_size=4096)
+        assert prove(correct == buggy if False else (correct & buggy) | (~correct & ~buggy)).proved
+
+    def test_counter_leak_quirk(self):
+        """Second U54 bug: performance-counter control ignored, so any
+        privilege level can read counters (a covert channel)."""
+        csrs = make_csrs(mcounteren=0)
+        spec = counter_readable(csrs, 0, QuirkConfig())
+        buggy = counter_readable(csrs, 0, QuirkConfig(u54_counter_leak=True))
+        assert prove(~spec).proved  # architectural: gated off
+        assert prove(buggy).proved  # hardware: readable anyway
