@@ -14,26 +14,31 @@ engine options.
 
 import time
 
-import pytest
-
 from conftest import banner, emit, run_once
+
 from repro.core.errors import EngineFuelExhausted, UnconstrainedPc
 from repro.core.symopt import SymOptConfig
 
 RESULTS = {}
 
 
-def _baseline():
+def _baseline(jobs: int = 1, cache_dir: str | None = None):
+    from conftest import record_runner_run
     from repro.certikos import CertikosVerifier
 
-    verifier = CertikosVerifier(opt=1)
+    verifier = CertikosVerifier(opt=1, jobs=jobs, cache_dir=cache_dir)
     start = time.perf_counter()
-    assert verifier.prove_op("get_quota").proved
-    return time.perf_counter() - start
+    result = verifier.prove_op("get_quota")
+    elapsed = time.perf_counter() - start
+    assert result.proved
+    if jobs != 1 or cache_dir is not None:
+        record_runner_run("ablation.baseline.get_quota", result.stats, wall_time_s=elapsed)
+    return elapsed
 
 
-def test_baseline_all_optimizations(benchmark):
-    RESULTS["all optimizations"] = run_once(benchmark, _baseline)
+def test_baseline_all_optimizations(benchmark, runner_opts):
+    jobs, cache_dir = runner_opts
+    RESULTS["all optimizations"] = run_once(benchmark, _baseline, jobs, cache_dir)
 
 
 def _no_split_pc():

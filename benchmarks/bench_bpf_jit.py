@@ -11,11 +11,12 @@ instruction battery.
 """
 
 from conftest import banner, emit, run_once
+
 from repro.bpf_jit import (
     RV_BUGS,
-    X86_BUGS,
     RvJit,
     X86Jit,
+    X86_BUGS,
     check_rv_insn,
     check_x86_insn,
     rv_alu_test_insns,

@@ -13,7 +13,6 @@ The shape to match: Komodo^s has the larger implementation and a much
 larger functional spec (its interface has 12 calls vs 3).
 """
 
-import inspect
 from pathlib import Path
 
 from conftest import banner, emit, run_once

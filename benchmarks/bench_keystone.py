@@ -7,6 +7,7 @@ the paths of three monitor calls", all confirmed and fixed.
 """
 
 from conftest import banner, emit, run_once
+
 from repro.keystone import (
     KEYSTONE_BUG_IDS,
     prove_enclave_independence,

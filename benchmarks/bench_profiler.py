@@ -8,6 +8,7 @@ output".
 """
 
 from conftest import banner, emit, run_once
+
 from repro.core import EngineOptions, run_interpreter
 from repro.core.errors import EngineFuelExhausted
 from repro.sym import new_context, profile

@@ -9,6 +9,7 @@ instance (pure search).
 """
 
 from conftest import banner, emit, run_once
+
 from repro.smt import (
     bv_sort,
     check_sat,

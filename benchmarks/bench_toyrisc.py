@@ -4,13 +4,19 @@ Measures symbolic evaluation and the refinement/NI proofs of the sign
 program, plus the no-split-pc blow-up of Figure 5's discussion.
 """
 
+from conftest import banner, emit, run_once
 import pytest
 
-from conftest import banner, emit, run_once
 from repro.core import EngineOptions, run_interpreter
 from repro.core.errors import EngineFuelExhausted, UnconstrainedPc
 from repro.sym import new_context
-from repro.toyrisc import ToyCpu, ToyRISC, prove_sign_refinement, sign_program, step_consistency_holds
+from repro.toyrisc import (
+    ToyCpu,
+    ToyRISC,
+    prove_sign_refinement,
+    sign_program,
+    step_consistency_holds,
+)
 
 RESULTS = {}
 

@@ -9,6 +9,7 @@ both hardware quirks as spec-vs-implementation divergences.
 """
 
 from conftest import banner, emit, run_once
+
 from repro.riscv import QuirkConfig, counter_readable, napot_region, pmp_check
 from repro.riscv.pmp import PMP_A_NAPOT, PMP_A_SHIFT, PMP_R
 from repro.sym import bv_val, new_context, prove

@@ -12,14 +12,7 @@ Run:  python examples/bpf_jit_bugs.py
 
 import time
 
-from repro.bpf_jit import (
-    RV_BUGS,
-    X86_BUGS,
-    RvJit,
-    X86Jit,
-    check_rv_insn,
-    check_x86_insn,
-)
+from repro.bpf_jit import RV_BUGS, RvJit, X86Jit, X86_BUGS, check_rv_insn, check_x86_insn
 
 
 def main() -> None:

@@ -12,10 +12,7 @@ Run:  python examples/certikos_demo.py   (takes a few minutes)
 import time
 
 from repro.certikos import CertikosVerifier
-from repro.certikos.ni import (
-    prove_small_step_properties,
-    prove_spawn_targets_owned_child,
-)
+from repro.certikos.ni import prove_small_step_properties, prove_spawn_targets_owned_child
 
 
 def main() -> None:

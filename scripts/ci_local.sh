@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Local dry-run of .github/workflows/ci.yml: same jobs, same commands,
+# on whatever Python is installed.  Run from the repository root:
+#
+#     bash scripts/ci_local.sh [--skip-slow]
+#
+# The lint job needs ruff; when it is not installed the job is skipped
+# with a warning instead of failing (CI always runs it).
+set -u
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+skip_slow=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-slow) skip_slow=1 ;;
+        *) echo "unknown option: $arg" >&2; exit 2 ;;
+    esac
+done
+
+failures=0
+run_job() {
+    local name="$1"; shift
+    echo
+    echo "=== job: $name ==="
+    if "$@"; then
+        echo "=== job: $name OK ==="
+    else
+        echo "=== job: $name FAILED ==="
+        failures=$((failures + 1))
+    fi
+}
+
+# -- lint ------------------------------------------------------------
+if command -v ruff >/dev/null 2>&1; then
+    run_job lint ruff check .
+else
+    echo "=== job: lint SKIPPED (ruff not installed; CI runs it) ==="
+fi
+
+# -- test-fast -------------------------------------------------------
+run_job test-fast python -m pytest -x -q -m "not slow"
+
+# -- test-slow -------------------------------------------------------
+if [ "$skip_slow" -eq 1 ]; then
+    echo "=== job: test-slow SKIPPED (--skip-slow) ==="
+else
+    run_job test-slow python -m pytest -x -q -m slow
+fi
+
+# -- cache-warm ------------------------------------------------------
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+export REPRO_CACHE_DIR="$tmp/solvercache"
+run_job cache-warm-cold python benchmarks/bench_fig11_verify.py \
+    --jobs 2 --cache --cache-dir "$REPRO_CACHE_DIR" \
+    --quick --compare-sequential --out "$tmp/cold.json"
+run_job cache-warm-warm python benchmarks/bench_fig11_verify.py \
+    --jobs 2 --cache --cache-dir "$REPRO_CACHE_DIR" \
+    --quick --out "$tmp/warm.json"
+run_job cache-warm-assert python scripts/compare_runner_runs.py \
+    "$tmp/cold.json" "$tmp/warm.json"
+
+echo
+if [ "$failures" -gt 0 ]; then
+    echo "ci_local: $failures job(s) failed"
+    exit 1
+fi
+echo "ci_local: all jobs passed"

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""CI cache-warm assertion: compare two BENCH_runner.json artifacts.
+
+Usage: compare_runner_runs.py COLD.json WARM.json [--min-hit-rate 0.9]
+
+Asserts that the warm (second) run was faster than the cold run and
+that its solver-cache hit rate clears the floor — the contract the
+persistent cache exists to uphold.  Exits nonzero on violation or on
+any recorded sequential-vs-parallel divergence.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("cold")
+    parser.add_argument("warm")
+    parser.add_argument("--min-hit-rate", type=float, default=0.9)
+    args = parser.parse_args()
+
+    with open(args.cold) as handle:
+        cold = json.load(handle)
+    with open(args.warm) as handle:
+        warm = json.load(handle)
+
+    failures = []
+    for name, run in (("cold", cold), ("warm", warm)):
+        if run.get("divergences"):
+            failures.append(f"{name} run recorded verdict divergences: {run['divergences']}")
+
+    cold_wall = cold.get("wall_time_s", 0.0)
+    warm_wall = warm.get("wall_time_s", 0.0)
+    if not warm_wall or warm_wall >= cold_wall:
+        failures.append(f"warm run not faster: cold={cold_wall:.2f}s warm={warm_wall:.2f}s")
+
+    hit_rate = warm.get("cache_hit_rate", 0.0)
+    if hit_rate < args.min_hit_rate:
+        failures.append(f"warm hit rate {hit_rate:.2%} below floor {args.min_hit_rate:.0%}")
+
+    print(
+        f"cold: {cold_wall:.2f}s ({cold.get('obligations', 0)} obligations, "
+        f"hit rate {cold.get('cache_hit_rate', 0.0):.2%})"
+    )
+    print(
+        f"warm: {warm_wall:.2f}s ({warm.get('obligations', 0)} obligations, "
+        f"hit rate {hit_rate:.2%}); speedup {cold_wall / warm_wall if warm_wall else 0:.2f}x"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("cache-warm contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

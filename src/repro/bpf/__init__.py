@@ -1,12 +1,18 @@
 """The BPF verifier (§5): extended BPF interpreter, lifted."""
 
-from .encoding import (
-    BpfDecodeError,
-    decode_program,
-    decode_validated,
-    encode_program,
+from .encoding import BpfDecodeError, decode_program, decode_validated, encode_program
+from .insn import (
+    ALU_OPS,
+    BpfInsn,
+    CLASS_ALU,
+    CLASS_ALU64,
+    CLASS_JMP,
+    CLASS_JMP32,
+    JMP_OPS,
+    alu,
+    exit_,
+    jmp,
 )
-from .insn import ALU_OPS, CLASS_ALU, CLASS_ALU64, CLASS_JMP, CLASS_JMP32, JMP_OPS, BpfInsn, alu, exit_, jmp
 from .interp import BpfInterp, BpfState, run_insn
 
 __all__ = [name for name in dir() if not name.startswith("_")]

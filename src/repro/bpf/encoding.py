@@ -17,15 +17,7 @@ from __future__ import annotations
 
 import struct
 
-from .insn import (
-    ALU_OPS,
-    CLASS_ALU,
-    CLASS_ALU64,
-    CLASS_JMP,
-    CLASS_JMP32,
-    JMP_OPS,
-    BpfInsn,
-)
+from .insn import ALU_OPS, BpfInsn, CLASS_ALU, CLASS_ALU64, CLASS_JMP, CLASS_JMP32, JMP_OPS
 
 __all__ = ["encode", "decode", "decode_validated", "encode_program", "decode_program", "BpfDecodeError"]
 

@@ -11,8 +11,8 @@ the JIT checker compares against.
 from __future__ import annotations
 
 from ..core.engine import Interpreter
-from ..sym import SymBool, SymBV, bug_on, bv_val, fresh_bv, ite, merge
-from .insn import CLASS_ALU, CLASS_ALU64, CLASS_JMP, CLASS_JMP32, BpfInsn
+from ..sym import SymBV, SymBool, bug_on, bv_val, fresh_bv, ite, merge
+from .insn import BpfInsn, CLASS_ALU, CLASS_ALU64, CLASS_JMP, CLASS_JMP32
 
 __all__ = ["BpfState", "BpfInterp", "run_insn"]
 

@@ -1,7 +1,7 @@
 """BPF JIT-compiler checking (§7): JIT translations, the equivalence
 checker, and the 15-bug catalog."""
 
-from .bugs import ALL_BUGS, RV_BUGS, X86_BUGS, JitBug
+from .bugs import ALL_BUGS, JitBug, RV_BUGS, X86_BUGS
 from .checker import (
     BOUNDARY_IMMS,
     CheckResult,

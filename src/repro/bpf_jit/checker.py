@@ -23,7 +23,7 @@ from ..core.image import Image
 from ..core.memory import Memory
 from ..riscv import CpuState, RiscvInterp
 from ..riscv.encode import encode as rv_encode
-from ..sym import bv_val, new_context, prove, sym_true, verify_vcs
+from ..sym import new_context, prove, sym_true
 from ..x86.interp import X86State, run_insns
 from .rv_jit import BPF2RV, RvJit
 from .x86_jit import X86Jit, slot_hi, slot_lo
@@ -75,7 +75,6 @@ def check_rv_insn(insn: BpfInsn, jit: RvJit, max_conflicts: int | None = 200_000
         cpu1 = run_interpreter(RiscvInterp(image, xlen=64), cpu, EngineOptions(fuel=500)).merged()
 
         if insn.klass == 0x06:  # JMP32: compare the branch decision
-            from ..bpf.insn import CLASS_JMP32
 
             decision_bpf = bpf1.pc  # off+1 if taken else 1 (from pc=0)
             decision_rv = cpu1.regs[6]  # TMP1 holds the 0/1 decision
@@ -161,6 +160,22 @@ def x86_alu_test_insns() -> list[BpfInsn]:
     return insns
 
 
-def sweep(checker, jit, insns) -> list[CheckResult]:
-    """Run the checker over an instruction battery."""
+def _sweep_one(job) -> CheckResult:
+    """Worker entry for parallel sweeps (top-level for pickling)."""
+    checker, jit, insn = job
+    return checker(insn, jit)
+
+
+def sweep(checker, jit, insns, jobs: int = 1) -> list[CheckResult]:
+    """Run the checker over an instruction battery.
+
+    Each instruction check is an independent proof obligation — the
+    whole symbolic evaluation, not just the solve — so the sweep
+    parallelizes across worker processes with ``jobs > 1`` (order of
+    results matches ``insns`` either way).
+    """
+    if jobs != 1 and len(insns) > 1:
+        from ..core.runner import parallel_map
+
+        return parallel_map(_sweep_one, [(checker, jit, insn) for insn in insns], jobs=jobs)
     return [checker(insn, jit) for insn in insns]

@@ -13,7 +13,7 @@ See ``bugs.py`` for the catalog.
 
 from __future__ import annotations
 
-from ..bpf.insn import CLASS_ALU, CLASS_ALU64, CLASS_JMP32, BpfInsn
+from ..bpf.insn import BpfInsn, CLASS_ALU, CLASS_ALU64, CLASS_JMP32
 from ..riscv.insn import Insn
 
 __all__ = ["RvJit", "BPF2RV", "TMP1", "TMP2"]

@@ -13,7 +13,7 @@ default is the fixed JIT.
 
 from __future__ import annotations
 
-from ..bpf.insn import CLASS_ALU, CLASS_ALU64, BpfInsn
+from ..bpf.insn import BpfInsn, CLASS_ALU, CLASS_ALU64
 from ..x86.insn import X86Insn, mk
 
 __all__ = ["X86Jit", "slot_lo", "slot_hi"]

@@ -12,6 +12,6 @@ from .spec import (
     spec_yield,
     state_invariant,
 )
-from .verify import prove_boot, CertikosVerifier, verify_all
+from .verify import CertikosVerifier, prove_boot, verify_all
 
 __all__ = [name for name in dir() if not name.startswith("_")]

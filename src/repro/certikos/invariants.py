@@ -9,8 +9,8 @@ refinement proof may assume — and must re-establish.
 from __future__ import annotations
 
 from ..riscv import CpuState
-from ..sym import SymBool, SymBV, bv_val, ite
-from .layout import NPROC, NSAVED, PCB_STRIDE, PROC_FREE, PROC_RUN, SAVED_REGS, WORD, XLEN
+from ..sym import SymBV, SymBool, bv_val, ite
+from .layout import NPROC, PCB_STRIDE, PROC_FREE, PROC_RUN, SAVED_REGS, WORD, XLEN
 from .spec import CertiState
 
 __all__ = ["abstract", "rep_invariant", "read_current", "read_proc_field", "read_pcb_reg"]

@@ -22,8 +22,8 @@ Two specifications, both over the functional spec:
 from __future__ import annotations
 
 from ..core.noninterference import Action, NIPolicy, prove_nickel_ni
-from ..sym import ProofResult, SymBool, bv_val, fresh_bv, new_context, sym_true, verify_vcs
-from .layout import NCHILD, NPROC, NSAVED, XLEN, children_of
+from ..sym import ProofResult, SymBool, fresh_bv, new_context, sym_true, verify_vcs
+from .layout import NPROC, NSAVED, XLEN, children_of
 from .spec import (
     CertiState,
     spec_get_quota,

@@ -17,8 +17,8 @@ demonstrate the PID covert channel the Nickel specification caught.
 from __future__ import annotations
 
 from ..core import spec_struct
-from ..sym import SymBool, SymBV, bv_val, ite, sym_false, sym_true
-from .layout import CALL_GET_QUOTA, CALL_SPAWN, CALL_YIELD, NCHILD, NPROC, NSAVED, PROC_FREE, PROC_RUN, XLEN
+from ..sym import SymBV, SymBool, bv_val, ite
+from .layout import NCHILD, NPROC, NSAVED, PROC_FREE, PROC_RUN, XLEN
 
 __all__ = [
     "CertiState",

@@ -8,8 +8,8 @@ symbolic optimizations are switchable for the E5 ablation.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+import time
 
 from ..core import EngineOptions, Refinement, run_interpreter
 from ..core.image import build_memory
@@ -19,7 +19,7 @@ from ..riscv import CpuState, RiscvInterp
 from ..sym import ProofResult, bv_val
 from .impl import build_image
 from .invariants import abstract, rep_invariant
-from .layout import CALL_GET_QUOTA, CALL_SPAWN, CALL_YIELD, TEXT_BASE, XLEN
+from .layout import CALL_GET_QUOTA, CALL_SPAWN, CALL_YIELD, XLEN
 from .spec import spec_get_quota, spec_invalid, spec_spawn, spec_yield
 
 __all__ = ["CertikosVerifier", "verify_all", "prove_boot", "OPERATIONS"]
@@ -38,6 +38,10 @@ class CertikosVerifier:
     fuel: int = 5000
     max_conflicts: int | None = None
     timeout_s: float | None = None
+    # Proof-obligation runner knobs: worker processes and the
+    # persistent solver cache (see repro.core.runner).
+    jobs: int = 1
+    cache_dir: str | None = None
 
     def __post_init__(self):
         self.image = build_image(self.opt)
@@ -100,7 +104,10 @@ class CertikosVerifier:
 
     def prove_op(self, op: str) -> ProofResult:
         return self.refinement(op).prove(
-            max_conflicts=self.max_conflicts, timeout_s=self.timeout_s
+            max_conflicts=self.max_conflicts,
+            timeout_s=self.timeout_s,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
         )
 
 

@@ -14,13 +14,22 @@ from .errors import (
     UnconstrainedPc,
 )
 from .image import Image, Symbol, build_memory
-from .memory import Memory, MemoryOptions, MCell, MStruct, MUniform, Region
+from .memory import MCell, MStruct, MUniform, Memory, MemoryOptions, Region
 from .noninterference import (
     Action,
     NIPolicy,
     prove_local_respect,
     prove_nickel_ni,
     prove_step_consistency,
+)
+from .runner import (
+    Obligation,
+    ObligationResult,
+    RunnerStats,
+    obligations_from_context,
+    parallel_map,
+    reduce_results,
+    run_obligations,
 )
 from .safety import (
     count_where,
@@ -30,6 +39,12 @@ from .safety import (
     reference_count_consistent,
 )
 from .spec import Refinement, SpecStruct, spec_struct, theorem
-from .symopt import SymOptConfig, concretize, rewrite_with_invariant, split_cases, split_cases_value
+from .symopt import (
+    SymOptConfig,
+    concretize,
+    rewrite_with_invariant,
+    split_cases,
+    split_cases_value,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

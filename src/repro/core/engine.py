@@ -22,12 +22,12 @@ instances.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+import heapq
+from typing import Any
 
-from ..smt import Term, mk_and, mk_bool, mk_not, mk_or
-from ..sym import SymBool, SymBV, Union, current, merge_states, note_split, region
+from ..smt import Term, mk_and, mk_bool, mk_or
+from ..sym import SymBV, SymBool, Union, current, merge_states, note_split, region
 from ..sym.reflect import NotConcretizable, split_concrete
 from .errors import EngineFuelExhausted, UnconstrainedPc
 

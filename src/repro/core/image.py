@@ -12,10 +12,9 @@ extraction into the memory model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
 
 from .errors import MemoryModelError
-from .memory import Block, MCell, Memory, MemoryOptions, MStruct, MUniform, Region
+from .memory import Block, MCell, MStruct, MUniform, Memory, MemoryOptions, Region
 
 __all__ = ["Symbol", "Image", "build_memory"]
 

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..smt import mk_bool, mk_bv
-from ..sym import SymBool, SymBV, bug_on, bv, bv_val, ite, merge
+from ..smt import mk_bool
+from ..sym import SymBV, SymBool, bug_on, bv, bv_val, ite, merge
 from ..sym.reflect import destruct_linear
 from .errors import MemoryModelError
 

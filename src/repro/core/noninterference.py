@@ -21,13 +21,18 @@ carrying symbolic arguments, so every proof stays one solver query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..sym import ProofResult, SymBool, new_context, sym_true, verify_vcs
 from .spec import SpecStruct
 
 __all__ = ["Action", "prove_step_consistency", "prove_local_respect", "NIPolicy", "prove_nickel_ni"]
+
+
+def _no_args(prefix: str) -> tuple:
+    """Default argument factory for actions that take no arguments."""
+    return ()
 
 
 @dataclass
@@ -41,7 +46,7 @@ class Action:
 
     name: str
     apply: Callable[..., Any]
-    make_args: Callable[[str], tuple] = lambda prefix: ()
+    make_args: Callable[[str], tuple] = _no_args
     domain: Callable[..., Any] | None = None
 
 

@@ -1,0 +1,282 @@
+"""Parallel proof-obligation runner with a persistent solver cache.
+
+Serval's symbolic optimizations deliberately decompose one monolithic
+verification task into many small, independent proof obligations:
+``split-pc`` (repro.core.engine) yields one guarded final state per
+path through the binary, and ``split-cases`` (repro.core.symopt)
+yields one proof per monitor-call handler.  Each verification
+condition collected in the evaluation context is therefore an
+independent check-sat query — the natural unit of parallelism and
+memoization.
+
+This module makes those units explicit:
+
+  * :class:`Obligation` — a self-contained query (serialized term DAG
+    for the goal formulas plus assumptions) that can be shipped to a
+    worker process or hashed for the cache;
+  * :func:`run_obligations` — dispatches obligations across worker
+    processes via ``multiprocessing`` and reduces results
+    deterministically (input order, first failure wins);
+  * the persistent cache (``repro.smt.SolverCache``) keyed by the
+    canonical hash-consed DAG digest, so alpha-equivalent queries hit
+    across runs and across worker processes.
+
+Everything above the solver boundary (``repro.sym.check_batch``,
+``Refinement.prove(jobs=...)``, the verifiers' ``jobs``/``cache_dir``
+knobs) funnels through here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import multiprocessing
+import os
+import time
+from typing import Callable, Iterable, Sequence
+
+from ..smt import (
+    SolverCache,
+    SolverTimeout,
+    Term,
+    deserialize_terms,
+    mk_and,
+    mk_not,
+    serialize_terms,
+)
+from ..smt.solver import Solver
+
+__all__ = [
+    "Obligation",
+    "ObligationResult",
+    "RunnerStats",
+    "default_jobs",
+    "obligations_from_context",
+    "parallel_map",
+    "reduce_results",
+    "run_obligations",
+]
+
+PROVED = "proved"
+FAILED = "failed"
+UNKNOWN = "unknown"
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for ``jobs=0`` (all cores)."""
+    return max(os.cpu_count() or 1, 1)
+
+
+@dataclass
+class Obligation:
+    """One independent proof obligation.
+
+    ``payload`` is the portable serialization of ``goals + assumptions``
+    (see ``repro.smt.serialize_terms``); ``num_goals`` splits the two
+    groups back apart on the worker side.  The obligation is proved by
+    showing ``assumptions /\\ not(/\\ goals)`` unsatisfiable.
+    """
+
+    name: str
+    payload: dict
+    num_goals: int
+    info: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_terms(
+        cls,
+        name: str,
+        goals: Sequence[Term],
+        assumptions: Sequence[Term] = (),
+        **info,
+    ) -> "Obligation":
+        goals = list(goals)
+        roots = goals + list(assumptions)
+        return cls(name, serialize_terms(roots), len(goals), dict(info))
+
+
+@dataclass
+class ObligationResult:
+    """Verdict for one obligation, reduced deterministically."""
+
+    name: str
+    status: str  # proved | failed | unknown
+    model_values: dict | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def proved(self) -> bool:
+        return self.status == PROVED
+
+    def __repr__(self) -> str:
+        return f"ObligationResult({self.name}: {self.status})"
+
+
+@dataclass
+class RunnerStats:
+    """Aggregate statistics for one ``run_obligations`` call."""
+
+    obligations: int = 0
+    jobs: int = 1
+    wall_time_s: float = 0.0
+    cache_queries: int = 0
+    cache_hits: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.cache_queries if self.cache_queries else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "obligations": self.obligations,
+            "jobs": self.jobs,
+            "wall_time_s": self.wall_time_s,
+            "cache_queries": self.cache_queries,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+        }
+
+
+def obligations_from_context(ctx, assumptions: Sequence = (), prefix: str = "vc") -> list[Obligation]:
+    """One obligation per VC collected during symbolic evaluation.
+
+    This is where the engine's path decomposition becomes explicit:
+    every ``assert_prop``/``bug_on`` recorded under a path guard is an
+    independent query.  ``assumptions`` may be ``SymBool``s or raw
+    boolean terms.
+    """
+    assume_terms = [a.term if hasattr(a, "term") else a for a in assumptions]
+    out = []
+    for i, vc in enumerate(ctx.vcs):
+        out.append(
+            Obligation.from_terms(
+                f"{prefix}[{i}]: {vc.message}",
+                [vc.formula],
+                assume_terms,
+                kind=vc.kind,
+                index=i,
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+
+def _check_obligation(
+    obligation: Obligation,
+    cache_dir: str | None,
+    max_conflicts: int | None,
+    timeout_s: float | None,
+) -> ObligationResult:
+    """Discharge one obligation in the current process.
+
+    Top-level (not a closure) so worker processes can receive it via
+    pickling under any multiprocessing start method.
+    """
+    start = time.perf_counter()
+    roots = deserialize_terms(obligation.payload)
+    goals = roots[: obligation.num_goals]
+    assumptions = roots[obligation.num_goals:]
+    cache = SolverCache(cache_dir) if cache_dir else None
+    solver = Solver(max_conflicts=max_conflicts, timeout_s=timeout_s, cache=cache)
+    solver.add(*assumptions)
+    try:
+        result = solver.check(mk_not(mk_and(*goals)))
+    except SolverTimeout:
+        stats = dict(solver.last_stats, time_s=time.perf_counter() - start)
+        return ObligationResult(obligation.name, UNKNOWN, stats=stats)
+    stats = dict(solver.last_stats)
+    stats["time_s"] = time.perf_counter() - start
+    stats["cache_hit"] = bool(stats.get("cache_hit", False))
+    stats["cached"] = cache is not None and not stats.get("trivial", False)
+    if result.is_unsat:
+        return ObligationResult(obligation.name, PROVED, stats=stats)
+    if result.is_sat:
+        values = dict(result.model.items())
+        return ObligationResult(obligation.name, FAILED, model_values=values, stats=stats)
+    return ObligationResult(obligation.name, UNKNOWN, stats=stats)
+
+
+def _worker(job: tuple) -> ObligationResult:
+    obligation, cache_dir, max_conflicts, timeout_s = job
+    return _check_obligation(obligation, cache_dir, max_conflicts, timeout_s)
+
+
+def _pool_context():
+    """Prefer fork (workers inherit the interned DAG for free); fall
+    back to spawn where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# ---------------------------------------------------------------------------
+# Scheduler
+
+def run_obligations(
+    obligations: Sequence[Obligation],
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    max_conflicts: int | None = None,
+    timeout_s: float | None = None,
+) -> tuple[list[ObligationResult], RunnerStats]:
+    """Discharge obligations, optionally across worker processes.
+
+    ``jobs=1`` runs in-process (no multiprocessing overhead, the
+    sequential baseline); ``jobs=0`` means one worker per core.  The
+    reduction is deterministic regardless of worker scheduling:
+    results come back in input order, so "first failing obligation"
+    is stable across parallel runs — parallel and sequential runs
+    produce identical verdicts in identical order.
+    """
+    if jobs == 0:
+        jobs = default_jobs()
+    start = time.perf_counter()
+    if jobs <= 1 or len(obligations) <= 1:
+        results = [
+            _check_obligation(ob, cache_dir, max_conflicts, timeout_s) for ob in obligations
+        ]
+        effective_jobs = 1
+    else:
+        effective_jobs = min(jobs, len(obligations))
+        jobs_args = [(ob, cache_dir, max_conflicts, timeout_s) for ob in obligations]
+        ctx = _pool_context()
+        with ctx.Pool(processes=effective_jobs) as pool:
+            results = pool.map(_worker, jobs_args, chunksize=1)
+    stats = RunnerStats(
+        obligations=len(obligations),
+        jobs=effective_jobs,
+        wall_time_s=time.perf_counter() - start,
+        cache_queries=sum(1 for r in results if r.stats.get("cached")),
+        cache_hits=sum(1 for r in results if r.stats.get("cache_hit")),
+    )
+    return results, stats
+
+
+def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
+    """Order-preserving map across worker processes.
+
+    Generic escape hatch for workloads whose parallel unit is not an
+    :class:`Obligation` — e.g. the BPF JIT checker sweeps, where the
+    per-item work includes symbolic evaluation, not just solving.
+    ``fn`` and the items must be picklable (top-level callables).
+    """
+    items = list(items)
+    if jobs == 0:
+        jobs = default_jobs()
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(fn, items, chunksize=1)
+
+
+def reduce_results(results: Sequence[ObligationResult]) -> ObligationResult | None:
+    """Deterministic reduction: the first non-proved result, or None.
+
+    Mirrors the sequential runner's "stop at first failure" semantics
+    without depending on which worker finished first.
+    """
+    for result in results:
+        if not result.proved:
+            return result
+    return None

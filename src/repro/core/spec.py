@@ -21,11 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from ..smt import mk_bool
 from ..sym import (
     ProofResult,
     SymBool,
-    SymBV,
     fresh_bool,
     fresh_bv,
     merge,
@@ -120,6 +118,8 @@ def theorem(
     assumptions: Callable[..., SymBool] | None = None,
     max_conflicts: int | None = None,
     timeout_s: float | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> ProofResult:
     """Prove a universally quantified property over spec states.
 
@@ -132,7 +132,14 @@ def theorem(
         claim = prop(*states)
         ctx.assert_prop(claim, name)
         assume = [assumptions(*states)] if assumptions is not None else []
-        return verify_vcs(ctx, assumptions=assume, max_conflicts=max_conflicts, timeout_s=timeout_s)
+        return verify_vcs(
+            ctx,
+            assumptions=assume,
+            max_conflicts=max_conflicts,
+            timeout_s=timeout_s,
+            jobs=jobs,
+            cache_dir=cache_dir,
+        )
 
 
 @dataclass
@@ -157,6 +164,8 @@ class Refinement:
         self,
         max_conflicts: int | None = None,
         timeout_s: float | None = None,
+        jobs: int = 1,
+        cache_dir: str | None = None,
     ) -> ProofResult:
         with new_context() as ctx:
             impl0 = self.make_impl()
@@ -180,4 +189,6 @@ class Refinement:
                 assumptions=assumptions,
                 max_conflicts=max_conflicts,
                 timeout_s=timeout_s,
+                jobs=jobs,
+                cache_dir=cache_dir,
             )

@@ -23,8 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..smt import mk_bool
-from ..sym import SymBool, SymBV, bug_on, bv_val, ite, merge, note_split
+from ..sym import SymBV, SymBool, bug_on, bv_val, ite, merge, note_split
 
 __all__ = ["SymOptConfig", "split_cases", "split_cases_value", "rewrite_with_invariant", "concretize"]
 

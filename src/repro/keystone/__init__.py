@@ -4,8 +4,8 @@ from .impl import build_module
 from .safety import prove_enclave_independence, prove_pmp_sufficient
 from .spec import (
     HOST,
-    NENC,
     KeystoneState,
+    NENC,
     spec_create,
     spec_destroy,
     spec_exit,

@@ -19,8 +19,8 @@
 from __future__ import annotations
 
 from ..riscv.pmp import PMP_A_NAPOT, PMP_A_SHIFT, PMP_R, PMP_W, PMP_X, napot_region, pmp_check
-from ..sym import ProofResult, SymBool, bv_val, fresh_bv, new_context, sym_true, verify_vcs
-from .spec import HOST, NENC, KeystoneState, spec_create, state_invariant
+from ..sym import ProofResult, bv_val, fresh_bv, new_context, sym_true, verify_vcs
+from .spec import HOST, KeystoneState, NENC, spec_create, state_invariant
 
 __all__ = ["prove_enclave_independence", "prove_pmp_sufficient"]
 

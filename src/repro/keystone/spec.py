@@ -23,7 +23,7 @@ state is not influenced by other enclaves.  Keystone adopted the fix
 from __future__ import annotations
 
 from ..core import spec_struct
-from ..sym import SymBool, SymBV, bv_val, ite, sym_false, sym_true
+from ..sym import SymBV, SymBool, bv_val, ite, sym_true
 
 __all__ = [
     "KeystoneState",

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from ..core.image import Image, Symbol, build_memory
 from ..llvm.interp import run_function
-from ..sym import ProofResult, new_context, verify_vcs
+from ..sym import new_context
 from .impl import DATA_SYMBOLS, build_module
 
 __all__ = ["UbFinding", "scan_for_ub", "KEYSTONE_BUG_IDS"]

@@ -10,7 +10,7 @@ from .ni import (
     prove_host_cannot_read_enclave,
     prove_removed_enclave_unobservable,
 )
-from .spec import SPEC_CALLS, KomodoState, state_invariant
-from .verify import prove_boot, KomodoVerifier, verify_all
+from .spec import KomodoState, SPEC_CALLS, state_invariant
+from .verify import KomodoVerifier, prove_boot, verify_all
 
 __all__ = [name for name in dir() if not name.startswith("_")]

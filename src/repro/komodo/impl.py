@@ -32,7 +32,6 @@ from ..cc import (
 from ..core.image import Image
 from ..riscv import Assembler
 from .layout import (
-    ALL_CALLS,
     DATA_SYMBOLS,
     ENC_FINAL,
     ENC_INIT,
@@ -41,7 +40,6 @@ from .layout import (
     HOST,
     NENC,
     NPAGES,
-    NSAVED,
     PCB_STRIDE,
     PG_ADDRSPACE,
     PG_DATA,

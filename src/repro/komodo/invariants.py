@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 from ..riscv import CpuState
-from ..sym import SymBool, SymBV, bv_val, ite
-from .layout import HOST, NENC, NPAGES, NSAVED, PCB_STRIDE, PG_DATA, PG_FREE, SAVED_REGS, WORD, XLEN
+from ..sym import SymBV, SymBool, bv_val, ite
+from .layout import HOST, NENC, NPAGES, PCB_STRIDE, PG_DATA, PG_FREE, SAVED_REGS, WORD, XLEN
 from .spec import KomodoState
 
 __all__ = ["abstract", "rep_invariant"]

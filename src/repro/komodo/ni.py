@@ -15,16 +15,7 @@ from __future__ import annotations
 
 from ..sym import ProofResult, SymBool, bv_val, fresh_bv, new_context, sym_true, verify_vcs
 from .layout import HOST, NENC, NPAGES, NSAVED, XLEN
-from .spec import (
-    KomodoState,
-    SPEC_CALLS,
-    spec_enter,
-    spec_exit,
-    spec_map_secure,
-    spec_remove,
-    spec_stop,
-    state_invariant,
-)
+from .spec import KomodoState, SPEC_CALLS, spec_exit, spec_remove, spec_stop, state_invariant
 
 __all__ = [
     "enclave_equiv",

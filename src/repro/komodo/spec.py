@@ -15,7 +15,7 @@ index plus entry index rather than a virtual address.
 from __future__ import annotations
 
 from ..core import spec_struct
-from ..sym import SymBool, SymBV, bv_val, ite, sym_true
+from ..sym import SymBV, SymBool, bv_val, ite
 from .layout import (
     ENC_FINAL,
     ENC_INIT,

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+import time
 
 from ..core import EngineOptions, Refinement, run_interpreter
 from ..core.image import build_memory
@@ -31,6 +31,10 @@ class KomodoVerifier:
     fuel: int = 10_000
     max_conflicts: int | None = None
     timeout_s: float | None = None
+    # Proof-obligation runner knobs: worker processes and the
+    # persistent solver cache (see repro.core.runner).
+    jobs: int = 1
+    cache_dir: str | None = None
 
     def __post_init__(self):
         self.image = build_image(self.opt)
@@ -80,7 +84,10 @@ class KomodoVerifier:
 
     def prove_op(self, op: str) -> ProofResult:
         return self.refinement(op).prove(
-            max_conflicts=self.max_conflicts, timeout_s=self.timeout_s
+            max_conflicts=self.max_conflicts,
+            timeout_s=self.timeout_s,
+            jobs=self.jobs,
+            cache_dir=self.cache_dir,
         )
 
 

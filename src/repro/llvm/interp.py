@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from ..core.engine import Interpreter
 from ..core.memory import Memory
-from ..sym import SymBool, SymBV, bug_on, bv_val, fresh_bv, ite, merge
+from ..sym import SymBV, SymBool, bug_on, bv_val, fresh_bv, ite, merge
 from .ir import (
     Bin,
     Br,
     Cast,
-    Const,
     CondBr,
+    Const,
     Function,
     Gep,
     GlobalRef,

@@ -4,11 +4,11 @@ Built by lifting the interpreter in ``interp.py``; the decoder is
 validated against the encoder so binutils stays untrusted (§3.4).
 """
 
-from .asm import Assembler, AsmError
-from .cpu import MACHINE_CSRS, CpuState
+from .asm import AsmError, Assembler
+from .cpu import CpuState, MACHINE_CSRS
 from .decode import DecodeError, decode, decode_validated
 from .encode import EncodeError, encode
-from .insn import CSRS, REG_NAMES, REG_NUMBERS, Insn, reg_num
+from .insn import CSRS, Insn, REG_NAMES, REG_NUMBERS, reg_num
 from .interp import RiscvInterp
 from .pmp import PmpRegion, QuirkConfig, counter_readable, napot_region, pmp_check, pmp_regions_of
 

@@ -9,7 +9,7 @@ PMP/page-walk model (``repro.riscv.pmp``), as in the paper.
 from __future__ import annotations
 
 from ..core.memory import Memory
-from ..sym import SymBool, SymBV, bv_val, fresh_bv, merge
+from ..sym import SymBV, SymBool, bv_val, fresh_bv, merge
 
 __all__ = ["CpuState", "MACHINE_CSRS"]
 

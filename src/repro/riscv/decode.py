@@ -7,6 +7,7 @@ from .insn import (
     AUIPC,
     BRANCH,
     FUNCT12_SYS,
+    Insn,
     JAL,
     JALR,
     LOAD,
@@ -19,7 +20,6 @@ from .insn import (
     SPEC,
     STORE,
     SYSTEM,
-    Insn,
 )
 
 __all__ = ["decode", "decode_validated", "DecodeError"]

@@ -10,7 +10,7 @@ encoder exactly that way.
 
 from __future__ import annotations
 
-from .insn import SPEC, SYS_FUNCT12, Insn
+from .insn import Insn, SPEC, SYS_FUNCT12
 
 __all__ = ["encode", "EncodeError"]
 

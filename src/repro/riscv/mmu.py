@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.memory import Memory
-from ..sym import SymBool, SymBV, bv_val, ite, sym_false, sym_true
+from ..sym import SymBV, SymBool, bv_val, ite, sym_false, sym_true
 
 __all__ = ["WalkResult", "walk", "pte_valid", "pte_leaf", "make_pte", "PAGE_SIZE"]
 

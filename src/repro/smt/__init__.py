@@ -7,11 +7,13 @@ a from-scratch CDCL solver.  See DESIGN.md, substitution (1).
 
 from .evaluator import EvalError, eval_term
 from .model import Model
-from .solver import SAT, UNKNOWN, UNSAT, CheckResult, Solver, SolverTimeout, check_sat
+from .solver import CheckResult, SAT, Solver, SolverCache, SolverTimeout, UNKNOWN, UNSAT, check_sat
 from .sorts import BOOL, BitVecSort, Sort, bv_sort, is_bool, is_bv
 from .terms import (
     Term,
     TermManager,
+    canonicalize_query,
+    deserialize_terms,
     fresh_var,
     manager,
     mk_and,
@@ -51,6 +53,8 @@ from .terms import (
     mk_var,
     mk_xor,
     mk_zext,
+    query_digest,
+    serialize_terms,
     to_signed,
     to_unsigned,
 )

@@ -14,9 +14,9 @@ the same symbol.
 
 from __future__ import annotations
 
+from .sat.solver import SatSolver
 from .sorts import BOOL
 from .terms import Term
-from .sat.solver import SatSolver
 
 
 class CnfBuilder:

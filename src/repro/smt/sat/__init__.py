@@ -1,5 +1,5 @@
 """CDCL SAT solver core."""
 
-from .solver import SAT, UNKNOWN, UNSAT, SatSolver, luby, to_dimacs
+from .solver import SAT, SatSolver, UNKNOWN, UNSAT, luby, to_dimacs
 
 __all__ = ["SatSolver", "SAT", "UNSAT", "UNKNOWN", "luby", "to_dimacs"]

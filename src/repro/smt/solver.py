@@ -4,19 +4,36 @@ This is the stack's substitute for Z3 (Figure 1, bottom box):
 "constraint solving, counterexample generation".  Each ``check`` call
 simplification-folds the assertion set (the term constructors already
 did most of the work), bit-blasts it, and runs the CDCL core.
+
+``SolverCache`` adds a persistent memo over the check-sat boundary:
+queries are keyed by the canonical (alpha-renamed) digest of their
+term DAG, so re-running a verification — or running an equivalent
+obligation produced by a different harness — replays the verdict and
+counterexample from disk instead of re-solving.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 import time
 
 from .bitblast import BitBlaster
 from .model import Model
-from .sat.solver import SAT, UNKNOWN, UNSAT, SatSolver
+from .sat.solver import SAT, SatSolver, UNKNOWN, UNSAT
 from .sorts import BOOL
-from .terms import Term, mk_bool
+from .terms import Term, canonicalize_query, mk_bool
 
-__all__ = ["Solver", "CheckResult", "SolverTimeout", "SAT", "UNSAT", "UNKNOWN"]
+__all__ = [
+    "Solver",
+    "CheckResult",
+    "SolverCache",
+    "SolverTimeout",
+    "SAT",
+    "UNSAT",
+    "UNKNOWN",
+]
 
 
 class SolverTimeout(Exception):
@@ -43,20 +60,113 @@ class CheckResult:
         return f"CheckResult({self.status})"
 
 
+class SolverCache:
+    """Persistent memo of solver verdicts, keyed by canonical digest.
+
+    Entries live one-file-per-digest under ``path`` and are written
+    atomically (tempfile + rename), so concurrent worker processes can
+    share a cache directory without locking: the worst race is two
+    workers solving the same query and storing identical entries.
+
+    Models are stored under canonical variable names (the alpha
+    renaming from ``canonicalize_query``) and remapped to the hitting
+    query's own variable names on load — this is what makes
+    alpha-equivalent queries share counterexamples, not just verdicts.
+    ``unknown`` verdicts are budget-dependent and are never cached.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _entry_path(self, digest: str) -> str:
+        return os.path.join(self.path, f"{digest}.json")
+
+    def lookup(self, digest: str, var_map: dict[str, str]) -> "CheckResult | None":
+        """Return the cached result for ``digest``, or None on a miss."""
+        try:
+            with open(self._entry_path(digest)) as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        stats = {"cache_hit": True, "time_s": 0.0}
+        if entry["status"] == SAT:
+            canon_to_name = {canon: name for name, canon in var_map.items()}
+            values = {
+                canon_to_name[canon]: value
+                for canon, value in entry["model"].items()
+                if canon in canon_to_name
+            }
+            return CheckResult(SAT, Model(values), stats=stats)
+        return CheckResult(UNSAT, stats=stats)
+
+    def store(self, digest: str, var_map: dict[str, str], result: "CheckResult") -> None:
+        if result.status not in (SAT, UNSAT):
+            return
+        entry: dict = {"status": result.status}
+        if result.status == SAT:
+            entry["model"] = {
+                var_map[name]: value
+                for name, value in result.model.items()
+                if name in var_map
+            }
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(entry, handle)
+            os.replace(tmp, self._entry_path(digest))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+    def stats(self) -> dict:
+        queries = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hits / queries if queries else 0.0,
+        }
+
+    def clear(self) -> None:
+        for name in os.listdir(self.path):
+            if name.endswith(".json"):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except OSError:
+                    pass
+
+
 class Solver:
     """Assertion stack plus check-sat.
 
     Checks are one-shot: each ``check`` builds a fresh CNF.  That
     matches how the Serval pipeline uses the solver — one verification
     condition per theorem — and keeps the blaster stateless across
-    pushes.
+    pushes.  An optional ``cache`` memoizes verdicts across checks,
+    processes, and runs.
     """
 
-    def __init__(self, max_conflicts: int | None = None, timeout_s: float | None = None):
+    def __init__(
+        self,
+        max_conflicts: int | None = None,
+        timeout_s: float | None = None,
+        cache: SolverCache | None = None,
+    ):
         self._assertions: list[Term] = []
         self._scopes: list[int] = []
         self.max_conflicts = max_conflicts
         self.timeout_s = timeout_s
+        self.cache = cache
         self.last_stats: dict = {}
 
     def add(self, *terms: Term) -> None:
@@ -88,6 +198,14 @@ class Solver:
         if not terms:
             return CheckResult(SAT, Model({}), stats={"trivial": True, "time_s": 0.0})
 
+        digest = var_map = None
+        if self.cache is not None:
+            digest, var_map = canonicalize_query(terms)
+            cached = self.cache.lookup(digest, var_map)
+            if cached is not None:
+                self.last_stats = dict(cached.stats)
+                return cached
+
         sat = SatSolver()
         blaster = BitBlaster(sat)
         for t in terms:
@@ -108,10 +226,14 @@ class Solver:
         if self.timeout_s is not None and elapsed > self.timeout_s:
             raise SolverTimeout(f"check exceeded {self.timeout_s}s (took {elapsed:.2f}s)")
         if status == SAT:
-            return CheckResult(SAT, Model(blaster.extract_model()), stats=self.last_stats)
-        if status == UNSAT:
-            return CheckResult(UNSAT, stats=self.last_stats)
-        return CheckResult(UNKNOWN, stats=self.last_stats)
+            result = CheckResult(SAT, Model(blaster.extract_model()), stats=self.last_stats)
+        elif status == UNSAT:
+            result = CheckResult(UNSAT, stats=self.last_stats)
+        else:
+            result = CheckResult(UNKNOWN, stats=self.last_stats)
+        if self.cache is not None:
+            self.cache.store(digest, var_map, result)
+        return result
 
 
 def check_sat(*terms: Term, max_conflicts: int | None = None) -> CheckResult:

@@ -15,6 +15,7 @@ expressions to constants.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Iterable
 
 from .sorts import BOOL, BitVecSort, Sort, bv_sort, is_bv
@@ -23,6 +24,10 @@ __all__ = [
     "Term",
     "TermManager",
     "manager",
+    "serialize_terms",
+    "deserialize_terms",
+    "canonicalize_query",
+    "query_digest",
     "mk_true",
     "mk_false",
     "mk_bool",
@@ -879,3 +884,164 @@ def rebuild_with_args(term: Term, new_args: tuple[Term, ...]) -> Term:
     if op == "apply":
         return mk_apply(term.payload, term.sort, new_args)
     raise ValueError(f"cannot rebuild op {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Serialization and canonical query digests
+#
+# The proof-obligation runner (repro.core.runner) ships queries to
+# worker processes and memoizes solver verdicts on disk.  Both need a
+# portable view of the interned DAG:
+#
+#   * ``serialize_terms``/``deserialize_terms`` give a JSON-able
+#     post-order node list that round-trips through ``intern`` (so a
+#     worker process rebuilds pointer-identical structure in its own
+#     manager without re-running the folding constructors);
+#   * ``canonicalize_query`` alpha-renames variables by first
+#     occurrence and hashes the DAG, so two runs (or two harnesses)
+#     that build the same query with different fresh-name counters
+#     produce the same cache key.
+
+
+def _sort_tag(sort: Sort):
+    return "b" if sort is BOOL else sort.width
+
+
+def _sort_from_tag(tag) -> Sort:
+    return BOOL if tag == "b" else bv_sort(int(tag))
+
+
+def serialize_terms(roots: Iterable[Term]) -> dict:
+    """Flatten a set of root terms into a portable node list.
+
+    The result is JSON/pickle friendly: ``nodes`` is a post-order list
+    of ``[op, sort_tag, arg_indices, payload]`` entries and ``roots``
+    indexes into it.  Payloads are restricted to what terms carry:
+    ints, bools, strings, and (hi, lo) pairs for extract.
+    """
+    nodes: list[list] = []
+    index: dict[int, int] = {}
+
+    def walk(root: Term) -> int:
+        # Iterative post-order: VC DAGs can be deeper than the
+        # interpreter recursion limit.
+        stack: list[tuple[Term, bool]] = [(root, False)]
+        while stack:
+            t, expanded = stack.pop()
+            if t.tid in index:
+                continue
+            if expanded:
+                args = [index[a.tid] for a in t.args]
+                payload = list(t.payload) if isinstance(t.payload, tuple) else t.payload
+                nodes.append([t.op, _sort_tag(t.sort), args, payload])
+                index[t.tid] = len(nodes) - 1
+            else:
+                stack.append((t, True))
+                for a in t.args:
+                    stack.append((a, False))
+        return index[root.tid]
+
+    return {"nodes": nodes, "roots": [walk(r) for r in roots]}
+
+
+def deserialize_terms(data: dict, mgr: TermManager | None = None) -> list[Term]:
+    """Rebuild serialized terms in ``mgr`` (the global manager by default).
+
+    Nodes are re-interned directly rather than re-run through the
+    folding constructors: the source terms were already folded, and a
+    byte-identical rebuild keeps obligation results reproducible across
+    worker processes.
+    """
+    mgr = mgr or manager
+    built: list[Term] = []
+    for op, sort_tag, arg_idxs, payload in data["nodes"]:
+        if isinstance(payload, list):
+            payload = tuple(payload)
+        args = tuple(built[i] for i in arg_idxs)
+        built.append(mgr.intern(op, _sort_from_tag(sort_tag), args, payload))
+    return [built[i] for i in data["roots"]]
+
+
+# Operators whose argument order carries no meaning.  The folding
+# constructors order their operands by interning id (tid), which is an
+# artifact of construction order — two alpha-equivalent queries built
+# at different times can disagree on it, so canonicalization re-sorts
+# these children by a variable-blind structural key.
+_COMMUTATIVE = frozenset(
+    {"and", "or", "xor", "eq", "distinct", "bvadd", "bvmul", "bvand", "bvor", "bvxor"}
+)
+
+
+def canonicalize_query(roots: Iterable[Term]) -> tuple[str, dict[str, str]]:
+    """Canonical digest of a query, plus the variable renaming used.
+
+    Variables are alpha-renamed ``v0, v1, ...`` in canonical traversal
+    order, so queries that differ only in fresh-name counters — e.g.
+    the same verification condition rebuilt in a new process, where
+    ``state.x!17`` became ``state.x!3`` — hash to the same key.
+    Children of commutative operators are ordered by a variable-blind
+    shape key first, making the digest independent of the tid ordering
+    the constructors bake in.  Returns ``(hex_digest,
+    {original_name: canonical_name})`` so cached models can be stored
+    and replayed under canonical names.
+    """
+    data = serialize_terms(roots)
+    nodes = data["nodes"]
+
+    # Pass 1 (bottom-up): variable-blind shape key per node.  Children
+    # of commutative ops are sorted by shape so the key is stable
+    # across construction orders; ties fall back to stored order.
+    shape: list[str] = []
+    for op, sort_tag, arg_idxs, payload in nodes:
+        child = [shape[j] for j in arg_idxs]
+        if op in _COMMUTATIVE:
+            child = sorted(child)
+        tag = "VAR" if op == "var" else repr(payload)
+        shape.append(hashlib.sha256(f"{op}|{sort_tag}|{tag}|{child}".encode()).hexdigest())
+
+    def child_order(op: str, arg_idxs: list[int]) -> list[int]:
+        if op in _COMMUTATIVE:
+            return sorted(arg_idxs, key=lambda j: shape[j])
+        return list(arg_idxs)
+
+    # Pass 2: assign variable indices by first occurrence along a DFS
+    # that visits children in canonical order.
+    var_map: dict[str, str] = {}
+    visited: set[int] = set()
+    for r in data["roots"]:
+        stack = [r]
+        while stack:
+            i = stack.pop()
+            if i in visited:
+                continue
+            visited.add(i)
+            op, _sort_tag, arg_idxs, payload = nodes[i]
+            if op == "var":
+                name = str(payload)
+                if name not in var_map:
+                    var_map[name] = f"v{len(var_map)}"
+            # Reversed so the canonical-first child is visited first.
+            for j in reversed(child_order(op, arg_idxs)):
+                stack.append(j)
+
+    # Pass 3 (bottom-up): final per-node digests with variables
+    # replaced by their canonical indices.
+    enc: list[str] = []
+    for op, sort_tag, arg_idxs, payload in nodes:
+        if op == "var":
+            tag = var_map[str(payload)]
+        else:
+            tag = repr(payload)
+        child = [enc[j] for j in child_order(op, arg_idxs)]
+        enc.append(hashlib.sha256(f"{op}|{sort_tag}|{tag}|{child}".encode()).hexdigest())
+
+    hasher = hashlib.sha256()
+    for r in data["roots"]:
+        hasher.update(enc[r].encode())
+        hasher.update(b"\n")
+    return hasher.hexdigest(), var_map
+
+
+def query_digest(roots: Iterable[Term]) -> str:
+    """Just the canonical hash of ``canonicalize_query``."""
+    return canonicalize_query(roots)[0]

@@ -6,7 +6,7 @@ verify/solve queries with counterexamples, the symbolic profiler, and
 symbolic reflection.
 """
 
-from .context import VC, Context, assert_prop, bug_on, current, new_context, path_condition
+from .context import Context, VC, assert_prop, bug_on, current, new_context, path_condition
 from .merge import Union, merge, merge_states
 from .profiler import SymProfiler, active_profiler, note_split, profile, region
 from .reflect import (
@@ -18,11 +18,11 @@ from .reflect import (
     term_depth,
     term_size,
 )
-from .solverapi import ProofResult, VerificationError, prove, solve, verify_vcs
+from .solverapi import ProofResult, VerificationError, check_batch, prove, solve, verify_vcs
 from .value import (
+    SymBV,
     SymBool,
     SymbolicBranchError,
-    SymBV,
     bv,
     bv_val,
     fresh_bool,

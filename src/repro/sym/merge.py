@@ -13,7 +13,7 @@ from __future__ import annotations
 import copy
 from typing import Any
 
-from .value import SymBool, SymBV, bv, sym_false
+from .value import SymBV, SymBool, sym_false
 
 # Set by the profiler when active; counts merge operations.
 _merge_hook = None

@@ -16,9 +16,9 @@ exploding under a symbolic pc.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+import time
 
 from ..smt import manager
 from .merge import set_merge_hook

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from ..smt import Term, mk_bv
+from ..smt import Term
 from .value import SymBV
 
 __all__ = [

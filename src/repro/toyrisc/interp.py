@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.engine import Interpreter
-from ..sym import SymBool, SymBV, Union, bug_on, bv_val, fresh_bv, ite, merge, region, sym_false
+from ..sym import SymBV, SymBool, Union, bug_on, bv_val, fresh_bv, ite, merge, region, sym_false
 
 __all__ = ["Insn", "ToyCpu", "ToyRISC", "sign_program", "REG_NAMES"]
 

@@ -8,7 +8,7 @@ EBP).  Control flow uses instruction indices as the pc.
 from __future__ import annotations
 
 from ..core.engine import Interpreter
-from ..sym import SymBool, SymBV, bug_on, bv_val, fresh_bv, ite, merge, sym_false
+from ..sym import SymBV, SymBool, bv_val, fresh_bv, ite, merge, sym_false
 from .insn import X86Insn
 
 __all__ = ["X86State", "X86Interp", "run_insns"]

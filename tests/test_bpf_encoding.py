@@ -1,8 +1,8 @@
 """Tests for the kernel's 8-byte eBPF instruction encoding."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.bpf import alu, exit_, jmp
 from repro.bpf.encoding import (
@@ -68,7 +68,7 @@ class TestValidation:
         """Raw bytes -> decode -> interpret: the loader path."""
         from repro.bpf import BpfInterp, BpfState
         from repro.core import EngineOptions, run_interpreter
-        from repro.sym import bv_val, new_context
+        from repro.sym import new_context
 
         raw = encode_program([alu("mov", 0, 41), alu("add", 0, 1), exit_()])
         prog = decode_program(raw)

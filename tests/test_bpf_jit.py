@@ -4,14 +4,11 @@ cataloged bug is found on its witness instruction."""
 import pytest
 
 from repro.bpf.insn import alu, jmp
-from repro.bpf_jit import (
-    RV_BUGS,
-    X86_BUGS,
-    RvJit,
-    X86Jit,
-    check_rv_insn,
-    check_x86_insn,
-)
+from repro.bpf_jit import RV_BUGS, RvJit, X86Jit, X86_BUGS, check_rv_insn, check_x86_insn
+
+# The full monitor/JIT suites take minutes; CI runs them in a
+# separate job after the fast tier passes.
+pytestmark = pytest.mark.slow
 
 
 class TestFixedRvJit:

@@ -13,12 +13,9 @@ from repro.cc import (
     CsrRead,
     CsrWrite,
     Func,
-    GlobalAddr,
     If,
-    Load,
     Program,
     Return,
-    Store,
     Var,
     While,
     compile_program,
@@ -26,7 +23,7 @@ from repro.cc import (
 from repro.core import run_interpreter
 from repro.core.image import build_memory
 from repro.riscv import Assembler, CpuState, RiscvInterp
-from repro.sym import bv_val, new_context, prove, sym_implies, verify_vcs
+from repro.sym import bv_val, new_context, prove, verify_vcs
 
 XLEN = 32
 STACK = ("stack", 0x9000, 256, ("array", 64, ("cell", 4)))

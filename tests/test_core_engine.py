@@ -7,7 +7,7 @@ from repro.core import EngineOptions, run_interpreter
 from repro.core.engine import Interpreter, Paths
 from repro.core.errors import EngineFuelExhausted, UnconstrainedPc
 from repro.smt import mk_bool
-from repro.sym import SymBool, SymBV, bv_val, fresh_bv, ite, merge, new_context, prove, sym_false
+from repro.sym import SymBool, bv_val, fresh_bv, ite, merge, new_context, prove
 
 
 class MiniState:

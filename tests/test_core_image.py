@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import MemoryModelError
 from repro.core.image import Image, Symbol, build_memory
-from repro.sym import bv_val, new_context
+from repro.sym import bv_val
 
 
 def image_with(*symbols):

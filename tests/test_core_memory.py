@@ -3,7 +3,7 @@ optimization."""
 
 import pytest
 
-from repro.core import MCell, Memory, MemoryOptions, MStruct, MUniform, Region
+from repro.core import MCell, MStruct, MUniform, Memory, MemoryOptions, Region
 from repro.core.errors import MemoryModelError
 from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies, verify_vcs
 

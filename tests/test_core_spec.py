@@ -9,7 +9,6 @@ from repro.core import (
     Refinement,
     count_where,
     prove_invariant_step,
-    prove_local_respect,
     prove_nickel_ni,
     prove_one_safety,
     prove_step_consistency,
@@ -18,17 +17,7 @@ from repro.core import (
     spec_struct,
     theorem,
 )
-from repro.sym import (
-    SymBool,
-    bv_val,
-    fresh_bv,
-    ite,
-    merge,
-    sym_eq,
-    sym_false,
-    sym_implies,
-    sym_true,
-)
+from repro.sym import SymBool, bv_val, ite, merge, sym_eq, sym_false, sym_implies, sym_true
 
 Counter = spec_struct("counter", value=8, limit=8)
 Pair = spec_struct("pair", a=8, b=8, flag=bool)

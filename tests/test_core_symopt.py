@@ -1,6 +1,12 @@
 """Tests for the symbolic-optimization library (§4)."""
 
-from repro.core.symopt import SymOptConfig, concretize, rewrite_with_invariant, split_cases, split_cases_value
+from repro.core.symopt import (
+    SymOptConfig,
+    concretize,
+    rewrite_with_invariant,
+    split_cases,
+    split_cases_value,
+)
 from repro.sym import bv_val, fresh_bv, ite, new_context, prove, sym_implies, verify_vcs
 
 

@@ -4,9 +4,9 @@ Only the fast examples run here (the monitor demos re-prove multi-
 minute refinement theorems and are exercised by the benchmarks).
 """
 
+from pathlib import Path
 import subprocess
 import sys
-from pathlib import Path
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

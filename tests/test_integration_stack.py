@@ -2,10 +2,16 @@
 path the paper describes (Figure 1), exercised end to end.
 """
 
-from repro.core import EngineOptions, run_interpreter
+import pytest
+
+from repro.core import run_interpreter
 from repro.core.image import build_memory
 from repro.riscv import Assembler, CpuState, RiscvInterp
-from repro.sym import bv_val, new_context, prove, sym_implies, verify_vcs
+from repro.sym import new_context, prove, sym_implies, verify_vcs
+
+# The full monitor/JIT suites take minutes; CI runs them in a
+# separate job after the fast tier passes.
+pytestmark = pytest.mark.slow
 
 
 class TestBinaryToTheorem:

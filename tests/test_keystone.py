@@ -5,7 +5,6 @@ from repro.keystone import (
     HOST,
     KEYSTONE_BUG_IDS,
     KeystoneState,
-    build_module,
     prove_enclave_independence,
     prove_pmp_sufficient,
     scan_for_ub,
@@ -16,7 +15,7 @@ from repro.keystone import (
     spec_stop,
     state_invariant,
 )
-from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies
+from repro.sym import fresh_bv, new_context, prove, sym_implies
 
 
 class TestUbScanning:

@@ -20,7 +20,7 @@ from repro.llvm import (
     Store,
     run_function,
 )
-from repro.sym import bv_val, ite, new_context, prove, sym_implies, verify_vcs
+from repro.sym import ite, new_context, prove, sym_implies, verify_vcs
 
 
 def fn(blocks, num_params=2, entry="entry"):

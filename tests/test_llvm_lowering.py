@@ -1,7 +1,6 @@
 """The §6.4 incremental strategy: verify monitor handlers at the LLVM
 level with the same specification used for the binary proof."""
 
-import pytest
 
 from repro.cc import (
     Arg,
@@ -12,8 +11,6 @@ from repro.cc import (
     Func,
     GlobalAddr,
     If,
-    Load,
-    Program,
     Return,
     Store,
     Var,

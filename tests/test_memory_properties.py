@@ -9,7 +9,7 @@ flexibility: shape changes performance, never meaning.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.memory import MCell, Memory, MemoryOptions, MStruct, MUniform, Region
+from repro.core.memory import MCell, MStruct, MUniform, Memory, MemoryOptions, Region
 from repro.sym import bv_val, new_context
 
 OPTS = MemoryOptions()

@@ -9,18 +9,8 @@ optimization ablations).
 import pytest
 
 from repro.certikos import CertikosVerifier
-from repro.certikos.layout import NPROC
-from repro.certikos.ni import (
-    prove_small_step_properties,
-    prove_spawn_targets_owned_child,
-)
-from repro.certikos.spec import (
-    CertiState,
-    spec_get_quota,
-    spec_spawn,
-    spec_yield,
-    state_invariant,
-)
+from repro.certikos.ni import prove_small_step_properties, prove_spawn_targets_owned_child
+from repro.certikos.spec import CertiState, spec_get_quota, spec_spawn, spec_yield, state_invariant
 from repro.core import prove_invariant_step
 from repro.core.symopt import SymOptConfig
 from repro.komodo import KomodoVerifier
@@ -30,6 +20,10 @@ from repro.komodo.ni import (
     prove_removed_enclave_unobservable,
 )
 from repro.sym import fresh_bv, new_context, solve
+
+# The full monitor/JIT suites take minutes; CI runs them in a
+# separate job after the fast tier passes.
+pytestmark = pytest.mark.slow
 
 
 class TestCertikosRefinement:

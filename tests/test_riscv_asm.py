@@ -3,10 +3,9 @@ instructions, symbols, and image structure."""
 
 import pytest
 
-from repro.core.image import build_memory
-from repro.core.memory import Memory
 from repro.core import run_interpreter
-from repro.riscv import Assembler, AsmError, CpuState, RiscvInterp, decode
+from repro.core.image import build_memory
+from repro.riscv import AsmError, Assembler, CpuState, RiscvInterp, decode
 from repro.sym import bv_val, new_context
 
 XLEN = 64

@@ -1,8 +1,8 @@
 """Encoder/decoder tests, including the §3.4 validation story."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.riscv import DecodeError, Insn, decode, decode_validated, encode
 from repro.riscv.insn import SPEC

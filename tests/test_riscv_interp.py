@@ -7,11 +7,11 @@ lifted interpreter, and checks the architectural result.
 
 import pytest
 
-from repro.core import EngineOptions, run_interpreter
+from repro.core import run_interpreter
 from repro.core.image import build_memory
-from repro.core.memory import MCell, Memory, MUniform, Region
+from repro.core.memory import Memory
 from repro.riscv import Assembler, CpuState, RiscvInterp
-from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies, verify_vcs
+from repro.sym import bv_val, new_context, prove, sym_implies, verify_vcs
 
 XLEN = 64
 MASK = (1 << XLEN) - 1

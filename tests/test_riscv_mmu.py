@@ -1,6 +1,6 @@
 """Tests for the three-level page-walk model (§6.1)."""
 
-from repro.core.memory import MCell, Memory, MUniform, Region
+from repro.core.memory import MCell, MUniform, Memory, Region
 from repro.riscv.mmu import PAGE_SIZE, PTE_R, PTE_U, PTE_V, PTE_W, PTE_X, make_pte, walk
 from repro.riscv.pmp import PMP_A_NAPOT, PMP_A_SHIFT, PMP_R, napot_region, pmp_check
 from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies

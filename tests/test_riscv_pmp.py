@@ -1,8 +1,8 @@
 """PMP model tests, including the two U54 hardware quirks (§6.4)."""
 
-from repro.riscv import CpuState, QuirkConfig, counter_readable, napot_region, pmp_check
+from repro.riscv import QuirkConfig, counter_readable, napot_region, pmp_check
 from repro.riscv.pmp import PMP_A_NAPOT, PMP_A_SHIFT, PMP_A_TOR, PMP_R, PMP_W, PMP_X
-from repro.sym import bv_val, fresh_bv, new_context, prove, sym_implies
+from repro.sym import bv_val, fresh_bv, prove, sym_implies
 
 XLEN = 64
 

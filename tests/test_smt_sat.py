@@ -6,7 +6,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.smt.sat import SAT, UNSAT, SatSolver, luby
+from repro.smt.sat import SAT, SatSolver, UNSAT, luby
 
 
 def brute_force(num_vars: int, clauses: list[list[int]]) -> bool:

@@ -8,7 +8,6 @@ verdict when re-parsed by a tiny s-expression reader.
 
 from repro.smt import (
     bv_sort,
-    check_sat,
     mk_and,
     mk_apply,
     mk_bv,

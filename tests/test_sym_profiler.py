@@ -5,7 +5,6 @@ import pytest
 from repro.smt import EvalError, eval_term, mk_var
 from repro.smt.sorts import bv_sort
 from repro.sym import (
-    SymProfiler,
     Union,
     active_profiler,
     bv_val,

@@ -1,8 +1,8 @@
 """Tests for the symbolic-value layer (repro.sym)."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.smt import eval_term
 from repro.sym import (
@@ -18,10 +18,7 @@ from repro.sym import (
     new_context,
     prove,
     solve,
-    sym_and,
-    sym_eq,
     sym_false,
-    sym_not,
     sym_or,
     sym_true,
     verify_vcs,

@@ -1,13 +1,13 @@
 """Tests for ToyRISC (§3.2-§3.3): emulation, lifting, refinement,
 noninterference, profiling, and the ablations."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
 from repro.core import EngineOptions, run_interpreter, theorem
 from repro.core.errors import EngineFuelExhausted, UnconstrainedPc
-from repro.sym import bv_val, fresh_bv, new_context, profile, prove, sym_eq, verify_vcs
+from repro.sym import bv_val, new_context, profile, prove, sym_eq, verify_vcs
 from repro.toyrisc import (
     ToyCpu,
     ToyRISC,
