@@ -5,14 +5,16 @@ DESIGN.md's experiment index).  Long-running verification benches run
 once per measurement (``rounds=1``); set ``REPRO_FULL=1`` to run the
 complete Figure 11 grid instead of the representative subset.
 
-The harness also fronts the proof-obligation runner
-(``repro.core.runner``): ``--jobs N`` dispatches obligations across N
-worker processes, ``--cache`` memoizes solver verdicts in a persistent
-on-disk cache.  Runner activity is accumulated into a
-``BENCH_runner.json`` artifact (obligation count, wall time, cache hit
-rate), and the session exits nonzero if a sequential-vs-parallel
-verdict divergence was recorded — the regression guard for the
-runner's deterministic-reduction promise.
+The harness also fronts the proof-obligation scheduler
+(``repro.core.scheduler``): ``--jobs N`` feeds obligations to the
+process-wide work-stealing pool, ``--cache`` memoizes solver verdicts
+in the shared content-addressed verdict store (``repro.core.store``).
+Runner activity is accumulated into a ``BENCH_runner.json`` artifact
+(obligation count, wall time, cache hit rate, plus the scheduler's
+steal/queue-depth/utilization telemetry), and the session exits
+nonzero if a sequential-vs-parallel verdict divergence was recorded —
+the regression guard for the scheduler's deterministic-reduction
+promise.
 """
 
 import json
@@ -25,7 +27,9 @@ FULL = os.environ.get("REPRO_FULL") == "1"
 _REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 _REPORT_PATH = os.path.join(_REPO_ROOT, "bench_report.txt")
 RUNNER_ARTIFACT = os.path.join(_REPO_ROOT, "BENCH_runner.json")
-DEFAULT_CACHE_DIR = os.path.join(_REPO_ROOT, ".solvercache")
+# The default store directory honors REPRO_CACHE_DIR so CI jobs and
+# scripts/ci_local.sh can point every entry point at one shared store.
+DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or os.path.join(_REPO_ROOT, ".solvercache")
 
 # Accumulated runner activity for the BENCH_runner.json artifact.
 _RUNNER_LOG: dict = {"runs": [], "divergences": []}
@@ -85,9 +89,23 @@ def banner(title: str) -> None:
 # Runner accounting and the BENCH_runner.json regression guard
 
 
+# Scheduler telemetry carried per-run into the artifact when present
+# (SchedulerStats.as_dict() emits them; the PR 2 pool path does not).
+_SCHEDULER_FIELDS = (
+    "steals",
+    "retries",
+    "timeouts",
+    "max_queue_depth",
+    "worker_restarts",
+    "pool_workers",
+    "utilization",
+)
+
+
 def record_runner_run(label: str, stats: dict, wall_time_s: float | None = None) -> None:
     """Log one runner invocation (``stats`` from ``ProofResult.stats``
-    or ``RunnerStats.as_dict()``) into the artifact."""
+    or ``RunnerStats``/``SchedulerStats`` ``.as_dict()``) into the
+    artifact, including work-stealing telemetry when present."""
     entry = {
         "label": label,
         "obligations": stats.get("obligations", stats.get("num_vcs", 0)),
@@ -96,6 +114,9 @@ def record_runner_run(label: str, stats: dict, wall_time_s: float | None = None)
         "cache_queries": stats.get("cache_queries", 0),
         "cache_hits": stats.get("cache_hits", 0),
     }
+    for field in _SCHEDULER_FIELDS:
+        if field in stats:
+            entry[field] = stats[field]
     _RUNNER_LOG["runs"].append(entry)
 
 
@@ -123,6 +144,10 @@ def runner_summary() -> dict:
         "cache_queries": queries,
         "cache_hits": hits,
         "cache_hit_rate": hits / queries if queries else 0.0,
+        "steals": sum(r.get("steals", 0) for r in runs),
+        "retries": sum(r.get("retries", 0) for r in runs),
+        "timeouts": sum(r.get("timeouts", 0) for r in runs),
+        "max_queue_depth": max((r.get("max_queue_depth", 0) for r in runs), default=0),
         "divergences": _RUNNER_LOG["divergences"],
         "runs": runs,
     }

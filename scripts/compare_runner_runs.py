@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
 """CI cache-warm assertion: compare two BENCH_runner.json artifacts.
 
-Usage: compare_runner_runs.py COLD.json WARM.json [--min-hit-rate 0.9]
+Usage: compare_runner_runs.py COLD.json WARM.json
+           [--min-hit-rate 0.9] [--allow-slower]
 
-Asserts that the warm (second) run was faster than the cold run and
-that its solver-cache hit rate clears the floor — the contract the
-persistent cache exists to uphold.  Exits nonzero on violation or on
-any recorded sequential-vs-parallel divergence.
+Asserts the shared-verdict-store contract between a cold run and a
+warm run against the same (possibly exported/imported) store:
+
+  * neither run recorded a sequential-vs-parallel verdict divergence;
+  * both runs report identical per-obligation verdicts (the scheduler's
+    determinism promise, across work-stealing, machines, and the store);
+  * the warm run's solver-cache hit rate clears the floor;
+  * the warm run was faster than the cold run — skipped with
+    ``--allow-slower``, which CI uses when the two runs execute on
+    different machines (a hit rate comparison stays honest across
+    hosts; a wall-clock comparison does not).
+
+Exits nonzero on any violation.
 """
 
 import argparse
@@ -19,6 +29,11 @@ def main() -> int:
     parser.add_argument("cold")
     parser.add_argument("warm")
     parser.add_argument("--min-hit-rate", type=float, default=0.9)
+    parser.add_argument(
+        "--allow-slower",
+        action="store_true",
+        help="skip the warm-faster-than-cold check (runs on different machines)",
+    )
     args = parser.parse_args()
 
     with open(args.cold) as handle:
@@ -31,23 +46,42 @@ def main() -> int:
         if run.get("divergences"):
             failures.append(f"{name} run recorded verdict divergences: {run['divergences']}")
 
+    cold_verdicts = cold.get("verdicts")
+    warm_verdicts = warm.get("verdicts")
+    if cold_verdicts is not None and warm_verdicts is not None:
+        if set(cold_verdicts) != set(warm_verdicts):
+            failures.append(
+                "verdict maps cover different obligations: "
+                f"{sorted(set(cold_verdicts) ^ set(warm_verdicts))}"
+            )
+        else:
+            mismatched = [k for k in cold_verdicts if cold_verdicts[k] != warm_verdicts[k]]
+            if mismatched:
+                failures.append(f"verdicts diverged between runs: {mismatched}")
+
     cold_wall = cold.get("wall_time_s", 0.0)
     warm_wall = warm.get("wall_time_s", 0.0)
-    if not warm_wall or warm_wall >= cold_wall:
+    if not args.allow_slower and (not warm_wall or warm_wall >= cold_wall):
         failures.append(f"warm run not faster: cold={cold_wall:.2f}s warm={warm_wall:.2f}s")
 
     hit_rate = warm.get("cache_hit_rate", 0.0)
     if hit_rate < args.min_hit_rate:
         failures.append(f"warm hit rate {hit_rate:.2%} below floor {args.min_hit_rate:.0%}")
 
-    print(
-        f"cold: {cold_wall:.2f}s ({cold.get('obligations', 0)} obligations, "
-        f"hit rate {cold.get('cache_hit_rate', 0.0):.2%})"
-    )
-    print(
-        f"warm: {warm_wall:.2f}s ({warm.get('obligations', 0)} obligations, "
-        f"hit rate {hit_rate:.2%}); speedup {cold_wall / warm_wall if warm_wall else 0:.2f}x"
-    )
+    def describe(name, run):
+        line = (
+            f"{name}: {run.get('wall_time_s', 0.0):.2f}s "
+            f"({run.get('obligations', 0)} obligations, "
+            f"hit rate {run.get('cache_hit_rate', 0.0):.2%}"
+        )
+        if "steals" in run:
+            line += f", steals {run['steals']}, max queue depth {run.get('max_queue_depth', 0)}"
+        return line + ")"
+
+    print(describe("cold", cold))
+    print(describe("warm", warm))
+    if warm_wall and cold_wall:
+        print(f"speedup {cold_wall / warm_wall:.2f}x")
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)

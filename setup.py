@@ -1,3 +1,7 @@
+"""Shim for editable installs (``python setup.py develop``) in offline
+environments where ``pip install -e .`` is unavailable; all metadata
+lives in pyproject.toml."""
+
 from setuptools import setup
 
 setup()

@@ -172,7 +172,10 @@ def sweep(checker, jit, insns, jobs: int = 1) -> list[CheckResult]:
     Each instruction check is an independent proof obligation — the
     whole symbolic evaluation, not just the solve — so the sweep
     parallelizes across worker processes with ``jobs > 1`` (order of
-    results matches ``insns`` either way).
+    results matches ``insns`` either way).  The items ride the shared
+    work-stealing pool (``repro.core.scheduler``), so a JIT sweep and
+    a monitor refinement proof submitted by the same process interleave
+    on the same workers instead of fighting over separate pools.
     """
     if jobs != 1 and len(insns) > 1:
         from ..core.runner import parallel_map

@@ -38,8 +38,10 @@ class CertikosVerifier:
     fuel: int = 5000
     max_conflicts: int | None = None
     timeout_s: float | None = None
-    # Proof-obligation runner knobs: worker processes and the
-    # persistent solver cache (see repro.core.runner).
+    # Proof-obligation scheduling knobs: with jobs > 1 the refinement
+    # VCs feed the process-wide work-stealing pool, and cache_dir names
+    # the shared content-addressed verdict store (repro.core.scheduler,
+    # repro.core.store).
     jobs: int = 1
     cache_dir: str | None = None
 
@@ -147,9 +149,26 @@ def prove_boot(opt: int = 1, max_conflicts: int | None = None) -> ProofResult:
         return verify_vcs(ctx, max_conflicts=max_conflicts)
 
 
-def verify_all(opt: int = 1, symopts: SymOptConfig | None = None, timeout_s: float | None = None):
-    """Prove refinement for every monitor call; returns name -> (result, seconds)."""
-    verifier = CertikosVerifier(opt=opt, symopts=symopts or SymOptConfig(), timeout_s=timeout_s)
+def verify_all(
+    opt: int = 1,
+    symopts: SymOptConfig | None = None,
+    timeout_s: float | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+):
+    """Prove refinement for every monitor call; returns name -> (result, seconds).
+
+    With ``jobs > 1`` the per-call proofs share the process-wide
+    scheduler: each call's VCs are queued as they are produced, so
+    workers stay busy *across* calls instead of draining between them.
+    """
+    verifier = CertikosVerifier(
+        opt=opt,
+        symopts=symopts or SymOptConfig(),
+        timeout_s=timeout_s,
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
     results = {}
     for op in OPERATIONS:
         start = time.perf_counter()

@@ -31,6 +31,12 @@ from .runner import (
     reduce_results,
     run_obligations,
 )
+from .scheduler import (
+    ObligationScheduler,
+    SchedulerStats,
+    get_scheduler,
+    shutdown_scheduler,
+)
 from .safety import (
     count_where,
     prove_invariant_step,
@@ -47,4 +53,14 @@ from .symopt import (
     split_cases_value,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [name for name in dir() if not name.startswith("_")] + ["VerdictStore"]
+
+
+def __getattr__(name):
+    # Lazy so that ``python -m repro.core.store`` does not import the
+    # module twice (runpy would warn about the sys.modules collision).
+    if name == "VerdictStore":
+        from .store import VerdictStore
+
+        return VerdictStore
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,6 +18,15 @@ state (§3.2).  The engine below drives that evaluation:
 Interpreters implement the small :class:`Interpreter` protocol; the
 ISA verifiers in ``repro.riscv``/``x86``/``llvm``/``bpf`` are all
 instances.
+
+The guarded final states this engine produces are where parallel
+verification starts: every ``assert_prop``/``bug_on`` recorded under a
+path guard becomes one independent proof obligation
+(``repro.core.runner.Obligation``), which the process-wide
+work-stealing scheduler (``repro.core.scheduler``) discharges and the
+content-addressed verdict store (``repro.core.store``) memoizes.  See
+``docs/ARCHITECTURE.md`` for the worked dataflow from a ``split-pc``
+leaf to a stored verdict.
 """
 
 from __future__ import annotations

@@ -24,6 +24,14 @@ This module makes those units explicit:
 Everything above the solver boundary (``repro.sym.check_batch``,
 ``Refinement.prove(jobs=...)``, the verifiers' ``jobs``/``cache_dir``
 knobs) funnels through here.
+
+Since PR 3, parallel dispatch defaults to the **process-wide
+work-stealing scheduler** (``repro.core.scheduler``): one persistent
+pool shared by every ``run_obligations`` call, with per-obligation
+timeout + bounded retry and verdicts memoized in the sharded
+content-addressed store (``repro.core.store.VerdictStore``).  The PR 2
+per-call pool remains as a fallback (``REPRO_NO_SCHEDULER=1``), and
+``jobs=1`` stays the in-process sequential baseline.
 """
 
 from __future__ import annotations
@@ -35,7 +43,6 @@ import time
 from typing import Callable, Iterable, Sequence
 
 from ..smt import (
-    SolverCache,
     SolverTimeout,
     Term,
     deserialize_terms,
@@ -177,13 +184,19 @@ def _check_obligation(
     roots = deserialize_terms(obligation.payload)
     goals = roots[: obligation.num_goals]
     assumptions = roots[obligation.num_goals:]
-    cache = SolverCache(cache_dir) if cache_dir else None
+    if cache_dir:
+        # Sharded content-addressed store; reads legacy flat caches too.
+        from .store import VerdictStore
+
+        cache = VerdictStore(cache_dir)
+    else:
+        cache = None
     solver = Solver(max_conflicts=max_conflicts, timeout_s=timeout_s, cache=cache)
     solver.add(*assumptions)
     try:
         result = solver.check(mk_not(mk_and(*goals)))
     except SolverTimeout:
-        stats = dict(solver.last_stats, time_s=time.perf_counter() - start)
+        stats = dict(solver.last_stats, time_s=time.perf_counter() - start, timed_out=True)
         return ObligationResult(obligation.name, UNKNOWN, stats=stats)
     stats = dict(solver.last_stats)
     stats["time_s"] = time.perf_counter() - start
@@ -212,36 +225,66 @@ def _pool_context():
 # ---------------------------------------------------------------------------
 # Scheduler
 
+def _pool_fallback() -> bool:
+    """True when ``REPRO_NO_SCHEDULER=1`` opts out of the shared
+    scheduler, restoring the PR 2 per-call pool."""
+    return os.environ.get("REPRO_NO_SCHEDULER") == "1"
+
+
 def run_obligations(
     obligations: Sequence[Obligation],
     jobs: int = 1,
     cache_dir: str | None = None,
     max_conflicts: int | None = None,
     timeout_s: float | None = None,
+    retries: int = 1,
 ) -> tuple[list[ObligationResult], RunnerStats]:
     """Discharge obligations, optionally across worker processes.
 
     ``jobs=1`` runs in-process (no multiprocessing overhead, the
-    sequential baseline); ``jobs=0`` means one worker per core.  The
-    reduction is deterministic regardless of worker scheduling:
+    sequential baseline); ``jobs=0`` means one worker per core.  With
+    ``jobs > 1`` the obligations feed the process-wide work-stealing
+    scheduler (``repro.core.scheduler``): one persistent pool shared by
+    every concurrent caller, per-obligation ``timeout_s`` with
+    ``retries`` bounded re-runs, and the sharded verdict store at
+    ``cache_dir``.  Set ``REPRO_NO_SCHEDULER=1`` to fall back to the
+    PR 2 per-call pool.
+
+    The reduction is deterministic regardless of worker scheduling:
     results come back in input order, so "first failing obligation"
-    is stable across parallel runs — parallel and sequential runs
-    produce identical verdicts in identical order.
+    is stable across parallel runs — parallel, work-stealing, and
+    sequential runs produce identical verdicts in identical order.
     """
+    from .scheduler import in_worker
+
     if jobs == 0:
         jobs = default_jobs()
+    if in_worker():
+        jobs = 1
     start = time.perf_counter()
     if jobs <= 1 or len(obligations) <= 1:
         results = [
             _check_obligation(ob, cache_dir, max_conflicts, timeout_s) for ob in obligations
         ]
         effective_jobs = 1
-    else:
+    elif _pool_fallback():
+        # PR 2 fallback: a pool scoped to this one call.
         effective_jobs = min(jobs, len(obligations))
         jobs_args = [(ob, cache_dir, max_conflicts, timeout_s) for ob in obligations]
         ctx = _pool_context()
         with ctx.Pool(processes=effective_jobs) as pool:
             results = pool.map(_worker, jobs_args, chunksize=1)
+    else:
+        from .scheduler import get_scheduler
+
+        return get_scheduler(jobs).run(
+            obligations,
+            cache_dir=cache_dir,
+            max_conflicts=max_conflicts,
+            timeout_s=timeout_s,
+            retries=retries,
+            jobs_hint=jobs,
+        )
     stats = RunnerStats(
         obligations=len(obligations),
         jobs=effective_jobs,
@@ -259,15 +302,26 @@ def parallel_map(fn: Callable, items: Iterable, jobs: int = 1) -> list:
     :class:`Obligation` — e.g. the BPF JIT checker sweeps, where the
     per-item work includes symbolic evaluation, not just solving.
     ``fn`` and the items must be picklable (top-level callables).
+
+    With ``jobs > 1`` the items ride the same shared work-stealing pool
+    as proof obligations, so a JIT sweep and a refinement proof can
+    interleave on the same workers (``REPRO_NO_SCHEDULER=1`` restores
+    the per-call pool).
     """
+    from .scheduler import in_worker
+
     items = list(items)
     if jobs == 0:
         jobs = default_jobs()
-    if jobs <= 1 or len(items) <= 1:
+    if jobs <= 1 or len(items) <= 1 or in_worker():
         return [fn(item) for item in items]
-    ctx = _pool_context()
-    with ctx.Pool(processes=min(jobs, len(items))) as pool:
-        return pool.map(fn, items, chunksize=1)
+    if _pool_fallback():
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, len(items))) as pool:
+            return pool.map(fn, items, chunksize=1)
+    from .scheduler import get_scheduler
+
+    return get_scheduler(jobs).map(fn, items)
 
 
 def reduce_results(results: Sequence[ObligationResult]) -> ObligationResult | None:

@@ -1,0 +1,519 @@
+"""Process-wide work-stealing scheduler for proof obligations.
+
+PR 2's runner parallelizes *within* one ``run_obligations`` call: each
+call builds a pool, maps its obligations, and tears the pool down.
+Between the Figure 11 grid's tasks — twelve refinement proofs, two
+safety suites, a JIT sweep — workers sit idle and every call pays pool
+startup again.  This module owns **one persistent worker pool for the
+whole process**, fed by a shared work-stealing queue, so any number of
+concurrent verification tasks keep all cores busy end-to-end (§3.3's
+decomposition into independent obligations is what makes this sound:
+obligations share no state, only the content-addressed verdict store).
+
+Scheduling discipline (the classic work-stealing deque arrangement):
+
+  * every worker has a **local deque**; submissions are dealt
+    round-robin across the deques;
+  * a worker takes work from the *front* of its own deque (oldest
+    first, preserving submission locality);
+  * a worker whose deque is empty **steals from the back of a random
+    victim's deque** (seeded RNG, so runs are reproducible), which is
+    counted in the telemetry;
+  * verdict reduction is by submission index, never completion order —
+    a stolen obligation lands in the same slot it would have filled
+    sequentially, so work-stealing runs report *identical* verdicts and
+    first-failures to sequential runs.
+
+Resilience (per KVerus' proof-fleet scheduling): each obligation gets a
+wall-clock ``timeout_s`` enforced inside the SAT core plus **one bounded
+retry**; a timed-out-twice obligation reports ``unknown`` instead of
+wedging the run, and a crashed worker is respawned with its in-flight
+obligation requeued.
+
+Telemetry compatible with ``RunnerStats`` (queue depth, steal count,
+retries, per-worker utilization) flows through ``ProofResult.stats``
+into the ``BENCH_runner.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import atexit
+from collections import deque
+from dataclasses import dataclass
+import os
+import queue as queue_mod
+import random
+import threading
+import time
+
+from .runner import (
+    Obligation,
+    ObligationResult,
+    RunnerStats,
+    UNKNOWN,
+    _check_obligation,
+    _pool_context,
+    default_jobs,
+)
+
+__all__ = [
+    "ObligationScheduler",
+    "SchedulerStats",
+    "get_scheduler",
+    "shutdown_scheduler",
+]
+
+# Set in worker processes so nested verification work never tries to
+# spawn grandchild processes (daemonic workers cannot fork).
+_WORKER_ENV = "REPRO_SCHEDULER_WORKER"
+
+
+@dataclass
+class SchedulerStats(RunnerStats):
+    """``RunnerStats`` plus the work-stealing telemetry.
+
+    ``utilization`` is the fraction of worker-seconds spent solving
+    during this run's wall time (1.0 = every worker busy the whole
+    time); ``max_queue_depth`` is the deepest the combined deques got.
+    """
+
+    steals: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    max_queue_depth: int = 0
+    worker_restarts: int = 0
+    pool_workers: int = 0
+    utilization: float = 0.0
+
+    def as_dict(self) -> dict:
+        out = super().as_dict()
+        out.update(
+            steals=self.steals,
+            retries=self.retries,
+            timeouts=self.timeouts,
+            max_queue_depth=self.max_queue_depth,
+            worker_restarts=self.worker_restarts,
+            pool_workers=self.pool_workers,
+            utilization=self.utilization,
+        )
+        return out
+
+
+class _CallError:
+    """Marker result for a generic task whose callable raised."""
+
+    def __init__(self, message: str):
+        self.message = message
+
+    def __repr__(self) -> str:
+        return f"_CallError({self.message})"
+
+
+class _Task:
+    __slots__ = ("tid", "kind", "payload", "ticket", "index", "attempts", "max_attempts", "name")
+
+    def __init__(self, tid, kind, payload, ticket, index, max_attempts, name):
+        self.tid = tid
+        self.kind = kind  # "ob" | "call"
+        self.payload = payload
+        self.ticket = ticket
+        self.index = index
+        self.attempts = 0
+        self.max_attempts = max_attempts
+        self.name = name
+
+
+class _Ticket:
+    """One submission's rendezvous point and per-run telemetry."""
+
+    def __init__(self, count: int):
+        self.results: list = [None] * count
+        self.pending = count
+        self.event = threading.Event()
+        self.steals = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.busy_s = 0.0
+        self.max_depth = 0
+
+    def wait(self) -> list:
+        self.event.wait()
+        return self.results
+
+
+def _worker_main(wid: int, inbox, outbox) -> None:
+    """Worker process loop: pull a task, solve, report, repeat.
+
+    Never raises out of the loop — any failure is reported as a result
+    so the dispatcher, not the pool, decides what to do about it.
+    """
+    os.environ[_WORKER_ENV] = "1"
+    while True:
+        msg = inbox.get()
+        if msg is None:
+            return
+        tid, kind, payload = msg
+        start = time.perf_counter()
+        try:
+            if kind == "ob":
+                obligation, cache_dir, max_conflicts, timeout_s = payload
+                result = _check_obligation(obligation, cache_dir, max_conflicts, timeout_s)
+            else:
+                fn, item = payload
+                result = fn(item)
+        except BaseException as exc:  # resilience: the loop must survive
+            if kind == "ob":
+                result = ObligationResult(
+                    payload[0].name, UNKNOWN, stats={"worker_error": repr(exc)}
+                )
+            else:
+                result = _CallError(repr(exc))
+        outbox.put((wid, tid, result, time.perf_counter() - start))
+
+
+class _Worker:
+    __slots__ = ("wid", "process", "inbox", "deque", "busy_s")
+
+    def __init__(self, wid, process, inbox):
+        self.wid = wid
+        self.process = process
+        self.inbox = inbox
+        self.deque: deque[int] = deque()
+        self.busy_s = 0.0
+
+
+class ObligationScheduler:
+    """The process-wide scheduler: persistent pool + work-stealing deques.
+
+    Use :func:`get_scheduler` rather than constructing one per call —
+    sharing the pool across calls is the point.
+    """
+
+    def __init__(self, workers: int = 0, steal_seed: int = 0):
+        workers = workers or default_jobs()
+        self._ctx = _pool_context()
+        self._lock = threading.Lock()
+        self._rng = random.Random(steal_seed)
+        self._outbox = self._ctx.Queue()
+        self._workers: list[_Worker] = []
+        self._idle: set[int] = set()
+        self._inflight: dict[int, int] = {}  # wid -> tid
+        self._tasks: dict[int, _Task] = {}
+        self._next_tid = 0
+        self._cursor = 0
+        self.closed = False
+        # Process-lifetime counters (per-run numbers live on tickets).
+        self.steals = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_restarts = 0
+        self.max_queue_depth = 0
+        for _ in range(workers):
+            self._spawn_worker()
+        self._dispatcher = threading.Thread(
+            target=self._loop, name="obligation-scheduler", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- pool management -------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        wid = len(self._workers)
+        inbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main, args=(wid, inbox, self._outbox), daemon=True
+        )
+        process.start()
+        self._workers.append(_Worker(wid, process, inbox))
+        self._idle.add(wid)
+
+    def _respawn(self, worker: _Worker) -> None:
+        self.worker_restarts += 1
+        worker.process = self._ctx.Process(
+            target=_worker_main, args=(worker.wid, worker.inbox, self._outbox), daemon=True
+        )
+        worker.process.start()
+
+    def grow(self, extra: int) -> None:
+        """Add workers (the pool only ever grows; idle workers block on
+        their inbox and cost nothing)."""
+        with self._lock:
+            for _ in range(extra):
+                self._spawn_worker()
+            self._feed_idle()
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._workers)
+
+    def shutdown(self) -> None:
+        """Stop workers and the dispatcher.  Idempotent."""
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            for worker in self._workers:
+                try:
+                    worker.inbox.put(None)
+                except (OSError, ValueError):
+                    pass
+        for worker in self._workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+
+    # -- submission ------------------------------------------------------
+
+    def submit_obligations(
+        self,
+        obligations,
+        cache_dir: str | None = None,
+        max_conflicts: int | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+    ) -> _Ticket:
+        """Queue obligations; returns a ticket to ``wait()`` on.
+
+        Multiple tickets may be outstanding at once — that is how
+        independent verification tasks share the pool.
+        """
+        specs = [
+            ("ob", (ob, cache_dir, max_conflicts, timeout_s), ob.name) for ob in obligations
+        ]
+        return self._submit(specs, retries)
+
+    def submit_calls(self, fn, items, retries: int = 0) -> _Ticket:
+        """Queue generic ``fn(item)`` tasks (the JIT-sweep shape)."""
+        specs = [("call", (fn, item), f"{getattr(fn, '__name__', 'call')}[{i}]") for i, item in enumerate(items)]
+        return self._submit(specs, retries)
+
+    def _submit(self, specs, retries: int) -> _Ticket:
+        ticket = _Ticket(len(specs))
+        if not specs:
+            ticket.event.set()
+            return ticket
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("scheduler is shut down")
+            for index, (kind, payload, name) in enumerate(specs):
+                tid = self._next_tid
+                self._next_tid += 1
+                self._tasks[tid] = _Task(tid, kind, payload, ticket, index, 1 + retries, name)
+                home = self._workers[self._cursor % len(self._workers)]
+                self._cursor += 1
+                home.deque.append(tid)
+            self._note_depth(ticket)
+            self._feed_idle()
+        return ticket
+
+    # -- dispatch (all called under self._lock) --------------------------
+
+    def _note_depth(self, ticket: _Ticket | None = None) -> None:
+        depth = sum(len(w.deque) for w in self._workers)
+        self.max_queue_depth = max(self.max_queue_depth, depth)
+        if ticket is not None:
+            ticket.max_depth = max(ticket.max_depth, depth)
+        else:
+            for task in self._tasks.values():
+                t = task.ticket
+                t.max_depth = max(t.max_depth, depth)
+
+    def _take_for(self, worker: _Worker) -> tuple[int | None, bool]:
+        if worker.deque:
+            return worker.deque.popleft(), False
+        victims = [w for w in self._workers if w is not worker and w.deque]
+        if not victims:
+            return None, False
+        victim = victims[self._rng.randrange(len(victims))]
+        return victim.deque.pop(), True
+
+    def _feed_idle(self) -> None:
+        for wid in sorted(self._idle):
+            worker = self._workers[wid]
+            tid, stolen = self._take_for(worker)
+            if tid is None:
+                continue
+            task = self._tasks[tid]
+            if stolen:
+                self.steals += 1
+                task.ticket.steals += 1
+            self._idle.discard(wid)
+            self._inflight[wid] = tid
+            worker.inbox.put((tid, task.kind, task.payload))
+
+    def _finalize(self, task: _Task, result) -> None:
+        del self._tasks[task.tid]
+        ticket = task.ticket
+        ticket.results[task.index] = result
+        ticket.pending -= 1
+        if ticket.pending == 0:
+            ticket.event.set()
+
+    def _requeue(self, wid: int, task: _Task) -> None:
+        task.attempts += 1
+        self.retries += 1
+        task.ticket.retries += 1
+        # Retry on the worker that just freed up: its deque front keeps
+        # the retry prompt without jumping the whole queue.
+        self._workers[wid].deque.appendleft(task.tid)
+
+    # -- dispatcher thread ----------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            try:
+                wid, tid, result, elapsed = self._outbox.get(timeout=0.2)
+            except queue_mod.Empty:
+                with self._lock:
+                    if self.closed:
+                        return
+                    self._check_workers()
+                continue
+            except (OSError, EOFError, ValueError):
+                return
+            with self._lock:
+                if self.closed:
+                    return
+                worker = self._workers[wid]
+                worker.busy_s += elapsed
+                self._inflight.pop(wid, None)
+                self._idle.add(wid)
+                task = self._tasks.get(tid)
+                if task is None:
+                    # Duplicate delivery after a worker-death requeue.
+                    self._feed_idle()
+                    continue
+                task.ticket.busy_s += elapsed
+                self._handle_result(wid, task, result)
+                self._note_depth()
+                self._feed_idle()
+
+    def _handle_result(self, wid: int, task: _Task, result) -> None:
+        if task.kind == "ob":
+            timed_out = (
+                isinstance(result, ObligationResult)
+                and result.status == UNKNOWN
+                and bool(result.stats.get("timed_out"))
+            )
+            errored = isinstance(result, ObligationResult) and "worker_error" in result.stats
+            if timed_out:
+                self.timeouts += 1
+                task.ticket.timeouts += 1
+            if (timed_out or errored) and task.attempts + 1 < task.max_attempts:
+                self._requeue(wid, task)
+                return
+        self._finalize(task, result)
+
+    def _check_workers(self) -> None:
+        for worker in self._workers:
+            if worker.process.is_alive():
+                continue
+            tid = self._inflight.pop(worker.wid, None)
+            if tid is not None and tid in self._tasks:
+                task = self._tasks[tid]
+                if task.attempts + 1 < task.max_attempts:
+                    self._requeue(worker.wid, task)
+                elif task.kind == "ob":
+                    self._finalize(
+                        task,
+                        ObligationResult(task.name, UNKNOWN, stats={"worker_error": "worker died"}),
+                    )
+                else:
+                    self._finalize(task, _CallError("worker died"))
+            self._respawn(worker)
+            self._idle.add(worker.wid)
+        self._feed_idle()
+
+    # -- high-level entry points ----------------------------------------
+
+    def run(
+        self,
+        obligations,
+        cache_dir: str | None = None,
+        max_conflicts: int | None = None,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        jobs_hint: int | None = None,
+    ) -> tuple[list[ObligationResult], SchedulerStats]:
+        """Submit, wait, and reduce — the ``run_obligations`` shape.
+
+        ``jobs_hint`` is what the caller asked for; it is reported as
+        ``stats.jobs`` for compatibility with PR 2 consumers even though
+        the whole pool participates.
+        """
+        start = time.perf_counter()
+        ticket = self.submit_obligations(
+            obligations,
+            cache_dir=cache_dir,
+            max_conflicts=max_conflicts,
+            timeout_s=timeout_s,
+            retries=retries,
+        )
+        results = ticket.wait()
+        wall = time.perf_counter() - start
+        workers = len(self._workers)
+        stats = SchedulerStats(
+            obligations=len(obligations),
+            jobs=min(jobs_hint or workers, max(len(obligations), 1)),
+            wall_time_s=wall,
+            cache_queries=sum(1 for r in results if r.stats.get("cached")),
+            cache_hits=sum(1 for r in results if r.stats.get("cache_hit")),
+            steals=ticket.steals,
+            retries=ticket.retries,
+            timeouts=ticket.timeouts,
+            max_queue_depth=ticket.max_depth,
+            worker_restarts=self.worker_restarts,
+            pool_workers=workers,
+            utilization=ticket.busy_s / (wall * workers) if wall > 0 and workers else 0.0,
+        )
+        return results, stats
+
+    def map(self, fn, items) -> list:
+        """Order-preserving parallel map over the shared pool.
+
+        Raises ``RuntimeError`` if ``fn`` raised in a worker (after the
+        worker-death retry budget), mirroring ``Pool.map``.
+        """
+        ticket = self.submit_calls(fn, list(items))
+        results = ticket.wait()
+        for result in results:
+            if isinstance(result, _CallError):
+                raise RuntimeError(f"scheduler map task failed: {result.message}")
+        return results
+
+
+# ---------------------------------------------------------------------------
+# The process-wide instance
+
+_GLOBAL: ObligationScheduler | None = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def in_worker() -> bool:
+    """True inside a scheduler worker process (nested parallelism is
+    downgraded to sequential there; daemonic workers cannot fork)."""
+    return os.environ.get(_WORKER_ENV) == "1"
+
+
+def get_scheduler(workers: int = 0) -> ObligationScheduler:
+    """The shared scheduler, growing its pool to ``workers`` if needed."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        want = workers or default_jobs()
+        if _GLOBAL is None or _GLOBAL.closed:
+            _GLOBAL = ObligationScheduler(want)
+        elif _GLOBAL.pool_size < want:
+            _GLOBAL.grow(want - _GLOBAL.pool_size)
+        return _GLOBAL
+
+
+def shutdown_scheduler() -> None:
+    """Tear down the shared pool (atexit; tests use it to reset seeds)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is not None:
+            _GLOBAL.shutdown()
+            _GLOBAL = None
+
+
+atexit.register(shutdown_scheduler)

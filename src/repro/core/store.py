@@ -1,0 +1,315 @@
+"""Content-addressed verdict store shared across runs and machines.
+
+The persistent solver cache of PR 2 (``repro.smt.SolverCache``) memoizes
+check-sat verdicts one-file-per-digest in a flat directory.  This module
+grows it into a *shareable artifact*: a sharded, content-addressed store
+(``<digest[:2]>/<digest>.json``) with an index file, portable
+export/import archives, and garbage collection — the "remote/shared
+solver cache" the ROADMAP calls for, in the shape *Divide, Conquer and
+Verify* uses to memoize verified slices.
+
+Because entries are keyed by the alpha-blind canonical digest of the
+query DAG (``repro.smt.terms.canonicalize_query``), two machines that
+verify the same monitor — or the same monitor under differently numbered
+fresh constants — produce byte-compatible entries.  CI jobs therefore
+hand verdicts to each other by exporting the store as an artifact and
+importing it on the next job (see ``.github/workflows/ci.yml``).
+
+Writes are atomic (tempfile + rename in the shard directory), so any
+number of worker processes and concurrent CI jobs can share a store
+without locking; the worst race is two writers storing identical
+entries.
+
+Command-line interface::
+
+    python -m repro.core.store stats  [--store DIR]
+    python -m repro.core.store index  [--store DIR]
+    python -m repro.core.store gc     [--store DIR] [--max-age-h H] [--keep N]
+    python -m repro.core.store export ARCHIVE [--store DIR]
+    python -m repro.core.store import ARCHIVE [--store DIR]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import tarfile
+import tempfile
+import time
+
+from ..smt.solver import SolverCache
+
+__all__ = ["VerdictStore", "DEFAULT_STORE_DIR", "main"]
+
+DEFAULT_STORE_DIR = os.environ.get("REPRO_CACHE_DIR", ".solvercache")
+
+# Entry files are named by hex digest; anything else in the tree is not
+# a verdict (index, tempfiles) and is never exported or collected.
+_DIGEST_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+INDEX_NAME = "index.json"
+
+
+class VerdictStore(SolverCache):
+    """A sharded, exportable :class:`~repro.smt.solver.SolverCache`.
+
+    Layout: ``<path>/<digest[:2]>/<digest>.json`` (two-level sharding
+    keeps directory sizes bounded at fleet scale); legacy flat entries
+    written by PR 2 caches are still readable, so pointing a scheduler
+    at an old cache directory keeps its verdicts.
+
+    The drop-in compatibility is deliberate: ``Solver`` talks to the
+    store through the ``lookup``/``store`` interface it already uses for
+    ``SolverCache``, so every layer above the solver gains sharing for
+    free.
+    """
+
+    def _entry_path(self, digest: str) -> str:
+        return os.path.join(self.path, digest[:2], f"{digest}.json")
+
+    def _legacy_path(self, digest: str) -> str:
+        return os.path.join(self.path, f"{digest}.json")
+
+    def _read_entry(self, digest: str) -> dict | None:
+        entry = super()._read_entry(digest)
+        if entry is not None:
+            return entry
+        # Fall back to the flat PR 2 layout for pre-sharding caches.
+        try:
+            with open(self._legacy_path(digest)) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # -- enumeration ----------------------------------------------------
+
+    def digests(self) -> list[str]:
+        """Every digest present (sharded and legacy flat), sorted."""
+        found: set[str] = set()
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return []
+        for name in names:
+            full = os.path.join(self.path, name)
+            if os.path.isdir(full) and len(name) == 2:
+                for fname in os.listdir(full):
+                    stem, ext = os.path.splitext(fname)
+                    if ext == ".json" and _DIGEST_RE.match(stem):
+                        found.add(stem)
+            elif name.endswith(".json"):
+                stem = name[: -len(".json")]
+                if _DIGEST_RE.match(stem):
+                    found.add(stem)
+        return sorted(found)
+
+    def _find_entry_file(self, digest: str) -> str | None:
+        for candidate in (self._entry_path(digest), self._legacy_path(digest)):
+            if os.path.exists(candidate):
+                return candidate
+        return None
+
+    # -- index ----------------------------------------------------------
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.path, INDEX_NAME)
+
+    def write_index(self) -> dict:
+        """Rebuild ``index.json``: one row per entry (status, size, age).
+
+        The index is advisory — lookups never consult it — but it makes
+        a store self-describing for humans and for ``stats`` on stores
+        too large to walk cheaply.  Written atomically like any entry.
+        """
+        rows = {}
+        for digest in self.digests():
+            fname = self._find_entry_file(digest)
+            if fname is None:
+                continue
+            entry = self._read_entry(digest)
+            if entry is None:
+                continue
+            st = os.stat(fname)
+            rows[digest] = {
+                "status": entry.get("status"),
+                "bytes": st.st_size,
+                "mtime": st.st_mtime,
+            }
+        index = {"version": 1, "entries": len(rows), "rows": rows}
+        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        with os.fdopen(fd, "w") as handle:
+            json.dump(index, handle, indent=2)
+        os.replace(tmp, self.index_path)
+        return index
+
+    # -- stats / gc ------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Counts by verdict, total bytes, and entry count."""
+        by_status: dict[str, int] = {}
+        total_bytes = 0
+        count = 0
+        for digest in self.digests():
+            entry = self._read_entry(digest)
+            if entry is None:
+                continue
+            count += 1
+            by_status[entry.get("status", "?")] = by_status.get(entry.get("status", "?"), 0) + 1
+            fname = self._find_entry_file(digest)
+            if fname:
+                total_bytes += os.stat(fname).st_size
+        return {"path": self.path, "entries": count, "bytes": total_bytes, "by_status": by_status}
+
+    def gc(self, max_age_s: float | None = None, keep: int | None = None) -> int:
+        """Collect entries older than ``max_age_s`` and/or trim to the
+        ``keep`` most recently touched.  Returns the number removed.
+
+        Verdicts never go stale semantically (the digest pins the exact
+        query), so GC is purely a size policy for long-lived shared
+        stores.
+        """
+        now = time.time()
+        aged: list[tuple[float, str, str]] = []
+        for digest in self.digests():
+            fname = self._find_entry_file(digest)
+            if fname is None:
+                continue
+            aged.append((os.stat(fname).st_mtime, digest, fname))
+        aged.sort(reverse=True)  # newest first
+        doomed: list[str] = []
+        for rank, (mtime, _digest, fname) in enumerate(aged):
+            too_old = max_age_s is not None and (now - mtime) > max_age_s
+            overflow = keep is not None and rank >= keep
+            if too_old or overflow:
+                doomed.append(fname)
+        removed = 0
+        for fname in doomed:
+            try:
+                os.unlink(fname)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    # -- export / import -------------------------------------------------
+
+    def export_archive(self, archive_path: str) -> int:
+        """Write every entry into a ``.tar.gz``; returns the entry count.
+
+        The archive stores sharded relative names
+        (``ab/ab12....json``), so importing normalizes legacy flat
+        entries into the sharded layout as a side effect.
+        """
+        self.write_index()
+        count = 0
+        with tarfile.open(archive_path, "w:gz") as tar:
+            for digest in self.digests():
+                fname = self._find_entry_file(digest)
+                if fname is None:
+                    continue
+                tar.add(fname, arcname=f"{digest[:2]}/{digest}.json")
+                count += 1
+            tar.add(self.index_path, arcname=INDEX_NAME)
+        return count
+
+    def import_archive(self, archive_path: str) -> int:
+        """Merge entries from an exported archive; returns how many were
+        new.  Existing digests win (they are identical by construction);
+        member names are validated so a hostile archive cannot escape
+        the store directory.
+        """
+        imported = 0
+        with tarfile.open(archive_path, "r:gz") as tar:
+            for member in tar.getmembers():
+                if not member.isfile():
+                    continue
+                parts = member.name.split("/")
+                if len(parts) != 2 or not parts[1].endswith(".json"):
+                    continue
+                digest = parts[1][: -len(".json")]
+                if not _DIGEST_RE.match(digest) or parts[0] != digest[:2]:
+                    continue
+                if self._find_entry_file(digest) is not None:
+                    continue
+                handle = tar.extractfile(member)
+                if handle is None:
+                    continue
+                payload = handle.read()
+                try:
+                    json.loads(payload)
+                except ValueError:
+                    continue
+                target = self._entry_path(digest)
+                os.makedirs(os.path.dirname(target), exist_ok=True)
+                fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target), suffix=".tmp")
+                with os.fdopen(fd, "wb") as out:
+                    out.write(payload)
+                os.replace(tmp, target)
+                imported += 1
+        return imported
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def main(argv=None) -> int:
+    """Entry point for ``python -m repro.core.store``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.store",
+        description="Inspect and share a content-addressed verdict store.",
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE_DIR,
+        help=f"store directory (default: $REPRO_CACHE_DIR or {DEFAULT_STORE_DIR})",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    sub.add_parser("stats", help="entry counts, bytes, verdict breakdown")
+    sub.add_parser("index", help="rebuild index.json")
+    gc_p = sub.add_parser("gc", help="collect old/overflow entries")
+    gc_p.add_argument("--max-age-h", type=float, default=None, help="drop entries older than H hours")
+    gc_p.add_argument("--keep", type=int, default=None, help="keep only the N newest entries")
+    exp = sub.add_parser("export", help="write all entries to a .tar.gz archive")
+    exp.add_argument("archive")
+    imp = sub.add_parser("import", help="merge entries from an exported archive")
+    imp.add_argument("archive")
+    args = parser.parse_args(argv)
+
+    store = VerdictStore(args.store)
+    if args.cmd == "stats":
+        print(json.dumps(store.summary(), indent=2))
+    elif args.cmd == "index":
+        index = store.write_index()
+        print(f"indexed {index['entries']} entries -> {store.index_path}")
+    elif args.cmd == "gc":
+        if args.max_age_h is None and args.keep is None:
+            print("gc: nothing to do (pass --max-age-h and/or --keep)")
+            return 2
+        max_age_s = args.max_age_h * 3600.0 if args.max_age_h is not None else None
+        removed = store.gc(max_age_s=max_age_s, keep=args.keep)
+        print(f"collected {removed} entries; {store.summary()['entries']} remain")
+    elif args.cmd == "export":
+        try:
+            count = store.export_archive(args.archive)
+        except OSError as exc:
+            print(f"export: cannot write {args.archive}: {exc}", file=sys.stderr)
+            return 1
+        print(f"exported {count} entries -> {args.archive}")
+    elif args.cmd == "import":
+        try:
+            count = store.import_archive(args.archive)
+        except (OSError, tarfile.TarError) as exc:
+            print(f"import: cannot read {args.archive}: {exc}", file=sys.stderr)
+            return 1
+        print(f"imported {count} new entries into {store.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,29 +34,44 @@ def _memory():
     return build_memory(image, addr_width=32)
 
 
-def scan_for_ub(bugs: set[str] | frozenset[str] = frozenset()) -> list[UbFinding]:
+def scan_for_ub(
+    bugs: set[str] | frozenset[str] = frozenset(),
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> list[UbFinding]:
     """Run the LLVM verifier's UB checks over every monitor call.
 
     Returns findings (empty for the fixed monitor) — the workflow that
     surfaced the two Keystone bugs, "both on the paths of three
-    monitor calls".
+    monitor calls".  Every UB verification condition across every
+    monitor call is an independent proof obligation, so the scan takes
+    the standard ``jobs``/``cache_dir`` knobs and feeds the shared
+    work-stealing scheduler (``repro.core.scheduler``) like the other
+    verifier frontends.  One finding is reported per (function,
+    message) pair, the first failing instance winning — identical to
+    the sequential scan.
     """
-    from ..sym.solverapi import prove
+    from ..sym import SymBool
+    from ..sym.solverapi import check_batch
 
     module = build_module(bugs)
-    findings: list[UbFinding] = []
+    work: list[tuple[str, object]] = []
     for name, func in module.functions.items():
         with new_context() as ctx:
             run_function(func, mem=_memory())
             vcs = list(ctx.vcs)
-        seen_messages = set()
         for vc in vcs:
-            if vc.message in seen_messages:
-                continue
-            from ..sym import SymBool
-
-            result = prove(SymBool(vc.formula))
-            if not result.proved:
-                seen_messages.add(vc.message)
-                findings.append(UbFinding(name, vc.message, result.counterexample))
+            work.append((name, vc))
+    results = check_batch(
+        [(f"{name}: {vc.message}", SymBool(vc.formula), []) for name, vc in work],
+        jobs=jobs,
+        cache_dir=cache_dir,
+    )
+    findings: list[UbFinding] = []
+    reported: set[tuple[str, str]] = set()
+    for (name, vc), result in zip(work, results):
+        if result.proved or (name, vc.message) in reported:
+            continue
+        reported.add((name, vc.message))
+        findings.append(UbFinding(name, vc.message, result.counterexample))
     return findings

@@ -31,8 +31,10 @@ class KomodoVerifier:
     fuel: int = 10_000
     max_conflicts: int | None = None
     timeout_s: float | None = None
-    # Proof-obligation runner knobs: worker processes and the
-    # persistent solver cache (see repro.core.runner).
+    # Proof-obligation scheduling knobs: with jobs > 1 the refinement
+    # VCs feed the process-wide work-stealing pool, and cache_dir names
+    # the shared content-addressed verdict store (repro.core.scheduler,
+    # repro.core.store).
     jobs: int = 1
     cache_dir: str | None = None
 
@@ -119,8 +121,22 @@ def prove_boot(opt: int = 1, max_conflicts: int | None = None) -> ProofResult:
         return verify_vcs(ctx, max_conflicts=max_conflicts)
 
 
-def verify_all(opt: int = 1, symopts: SymOptConfig | None = None, ops: list[str] | None = None):
-    verifier = KomodoVerifier(opt=opt, symopts=symopts or SymOptConfig())
+def verify_all(
+    opt: int = 1,
+    symopts: SymOptConfig | None = None,
+    ops: list[str] | None = None,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+):
+    """Prove refinement for the monitor interface (all calls by default).
+
+    With ``jobs > 1`` the per-call proofs share the process-wide
+    scheduler: each call's VCs are queued as they are produced, so
+    workers stay busy *across* calls instead of draining between them.
+    """
+    verifier = KomodoVerifier(
+        opt=opt, symopts=symopts or SymOptConfig(), jobs=jobs, cache_dir=cache_dir
+    )
     results = {}
     for op in ops or OPERATIONS:
         start = time.perf_counter()

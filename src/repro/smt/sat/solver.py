@@ -17,6 +17,7 @@ positive literal of variable ``v`` and ``-v`` for its negation.
 from __future__ import annotations
 
 import heapq
+import time
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -81,6 +82,7 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.timed_out = False
         self.max_learned = 4000
 
     # -- variable / clause management --------------------------------------
@@ -348,12 +350,22 @@ class SatSolver:
             self._clause_act.pop(id(clause), None)
         self._learned = kept_front + self._learned[keep_from:]
 
-    def solve(self, assumptions: list[int] = (), max_conflicts: int | None = None) -> str:
+    def solve(
+        self,
+        assumptions: list[int] = (),
+        max_conflicts: int | None = None,
+        timeout_s: float | None = None,
+    ) -> str:
         """Search for a model consistent with ``assumptions``.
 
         Returns "sat", "unsat", or "unknown" (budget exhausted).  After
-        "sat", use :meth:`value` to read the model.
+        "sat", use :meth:`value` to read the model.  Two budgets bound
+        the search: ``max_conflicts`` (deterministic) and ``timeout_s``,
+        a wall-clock deadline checked every few conflicts so a hung
+        obligation returns to its scheduler instead of pinning a worker
+        forever.  ``self.timed_out`` records which budget fired.
         """
+        self.timed_out = False
         if not self._ok:
             return UNSAT
         self._backtrack(0)
@@ -365,11 +377,21 @@ class SatSolver:
         restart_idx = 0
         conflicts_until_restart = 100 * luby(restart_idx)
         budget_left = max_conflicts
+        deadline = time.monotonic() + timeout_s if timeout_s is not None else None
+        deadline_check = 0
 
         while True:
             conflict = self._propagate()
             if conflict is not None:
                 self.conflicts += 1
+                if deadline is not None:
+                    deadline_check += 1
+                    if deadline_check >= 32:
+                        deadline_check = 0
+                        if time.monotonic() > deadline:
+                            self._backtrack(0)
+                            self.timed_out = True
+                            return UNKNOWN
                 if budget_left is not None:
                     budget_left -= 1
                     if budget_left <= 0:
@@ -431,11 +453,16 @@ class SatSolver:
     def _num_assumed(self) -> int:
         return getattr(self, "_assumed_count", 0)
 
-    def solve_with(self, assumptions: list[int], max_conflicts: int | None = None) -> str:
+    def solve_with(
+        self,
+        assumptions: list[int],
+        max_conflicts: int | None = None,
+        timeout_s: float | None = None,
+    ) -> str:
         """Solve under assumptions (kept as pseudo-decisions)."""
         self._assumed_count = len(assumptions)
         try:
-            return self.solve(list(assumptions), max_conflicts=max_conflicts)
+            return self.solve(list(assumptions), max_conflicts=max_conflicts, timeout_s=timeout_s)
         finally:
             self._assumed_count = 0
 

@@ -85,12 +85,19 @@ class SolverCache:
     def _entry_path(self, digest: str) -> str:
         return os.path.join(self.path, f"{digest}.json")
 
-    def lookup(self, digest: str, var_map: dict[str, str]) -> "CheckResult | None":
-        """Return the cached result for ``digest``, or None on a miss."""
+    def _read_entry(self, digest: str) -> dict | None:
+        """Load the raw JSON entry for ``digest``, or None if absent or
+        corrupt (a torn write loses one memo, never a verdict)."""
         try:
             with open(self._entry_path(digest)) as handle:
-                entry = json.load(handle)
+                return json.load(handle)
         except (OSError, ValueError):
+            return None
+
+    def lookup(self, digest: str, var_map: dict[str, str]) -> "CheckResult | None":
+        """Return the cached result for ``digest``, or None on a miss."""
+        entry = self._read_entry(digest)
+        if entry is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -115,11 +122,13 @@ class SolverCache:
                 for name, value in result.model.items()
                 if name in var_map
             }
-        fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+        target = self._entry_path(digest)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target), suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(entry, handle)
-            os.replace(tmp, self._entry_path(digest))
+            os.replace(tmp, target)
         except OSError:
             try:
                 os.unlink(tmp)
@@ -138,10 +147,20 @@ class SolverCache:
         }
 
     def clear(self) -> None:
+        # Walks one shard level so clearing works for both the flat
+        # PR 2 layout and the sharded VerdictStore layout.
         for name in os.listdir(self.path):
-            if name.endswith(".json"):
+            full = os.path.join(self.path, name)
+            if os.path.isdir(full) and len(name) == 2:
+                for sub in os.listdir(full):
+                    if sub.endswith(".json"):
+                        try:
+                            os.unlink(os.path.join(full, sub))
+                        except OSError:
+                            pass
+            elif name.endswith(".json"):
                 try:
-                    os.unlink(os.path.join(self.path, name))
+                    os.unlink(full)
                 except OSError:
                     pass
 
@@ -212,7 +231,12 @@ class Solver:
             blaster.assert_term(t)
         blast_time = time.perf_counter() - start
 
-        status = sat.solve(max_conflicts=self.max_conflicts)
+        sat_budget_s = None
+        if self.timeout_s is not None:
+            # Hand the SAT core whatever wall-clock budget blasting left
+            # over, so a hung search stops *during* the solve.
+            sat_budget_s = max(self.timeout_s - blast_time, 0.0)
+        status = sat.solve(max_conflicts=self.max_conflicts, timeout_s=sat_budget_s)
         elapsed = time.perf_counter() - start
         self.last_stats = {
             "time_s": elapsed,
@@ -223,7 +247,8 @@ class Solver:
             "decisions": sat.decisions,
             "propagations": sat.propagations,
         }
-        if self.timeout_s is not None and elapsed > self.timeout_s:
+        if sat.timed_out or (self.timeout_s is not None and elapsed > self.timeout_s):
+            self.last_stats["timed_out"] = True
             raise SolverTimeout(f"check exceeded {self.timeout_s}s (took {elapsed:.2f}s)")
         if status == SAT:
             result = CheckResult(SAT, Model(blaster.extract_model()), stats=self.last_stats)

@@ -51,8 +51,10 @@ def bv_sort(width: int) -> BitVecSort:
 
 
 def is_bv(sort: Sort) -> bool:
+    """True if ``sort`` is a bitvector sort."""
     return isinstance(sort, BitVecSort)
 
 
 def is_bool(sort: Sort) -> bool:
+    """True if ``sort`` is the boolean sort."""
     return sort is BOOL

@@ -185,26 +185,32 @@ manager = TermManager()
 
 
 def mk_bool(value: bool) -> Term:
+    """The boolean constant ``value``."""
     return manager.intern("boolconst", BOOL, (), bool(value))
 
 
 def mk_true() -> Term:
+    """The constant ``true``."""
     return mk_bool(True)
 
 
 def mk_false() -> Term:
+    """The constant ``false``."""
     return mk_bool(False)
 
 
 def mk_bv(value: int, width: int) -> Term:
+    """The bitvector constant ``value`` (masked) of the given width."""
     return manager.intern("bvconst", bv_sort(width), (), to_unsigned(value, width))
 
 
 def mk_var(name: str, sort: Sort) -> Term:
+    """A symbolic constant of the given sort (interned by name)."""
     return manager.intern("var", sort, (), name)
 
 
 def fresh_var(prefix: str, sort: Sort) -> Term:
+    """A symbolic constant with a globally uniquified name."""
     return mk_var(manager.fresh_name(prefix), sort)
 
 
@@ -221,6 +227,7 @@ def _is_false(t: Term) -> bool:
 
 
 def mk_not(a: Term) -> Term:
+    """Boolean negation (double negation folds)."""
     if a.op == "boolconst":
         return mk_bool(not a.payload)
     if a.op == "not":
@@ -229,6 +236,7 @@ def mk_not(a: Term) -> Term:
 
 
 def mk_and(*args: Term) -> Term:
+    """N-ary conjunction (flattens, dedups, folds constants)."""
     flat: list[Term] = []
     seen: set[int] = set()
     for a in args:
@@ -275,6 +283,7 @@ def mk_and(*args: Term) -> Term:
 
 
 def mk_or(*args: Term) -> Term:
+    """N-ary disjunction (flattens, dedups, folds constants)."""
     flat: list[Term] = []
     seen: set[int] = set()
     for a in args:
@@ -326,6 +335,7 @@ def mk_or(*args: Term) -> Term:
 
 
 def mk_xor(a: Term, b: Term) -> Term:
+    """Boolean exclusive-or."""
     if a.op == "boolconst":
         return mk_not(b) if a.payload else b
     if b.op == "boolconst":
@@ -338,6 +348,7 @@ def mk_xor(a: Term, b: Term) -> Term:
 
 
 def mk_implies(a: Term, b: Term) -> Term:
+    """Implication ``a -> b``, built as ``not a or b``."""
     return mk_or(mk_not(a), b)
 
 
@@ -383,6 +394,7 @@ def mk_ite(cond: Term, then: Term, els: Term) -> Term:
 
 
 def mk_eq(a: Term, b: Term) -> Term:
+    """Equality over bitvectors or booleans (same sort required)."""
     if a.sort is not b.sort:
         raise TypeError(f"eq sorts differ: {a.sort!r} vs {b.sort!r}")
     if a is b:
@@ -425,6 +437,7 @@ def mk_eq(a: Term, b: Term) -> Term:
 
 
 def mk_distinct(a: Term, b: Term) -> Term:
+    """Disequality, built as ``not (a = b)``."""
     return mk_not(mk_eq(a, b))
 
 
@@ -443,6 +456,7 @@ def _bv_binpred(op: str, a: Term, b: Term, concrete) -> Term:
 
 
 def mk_ult(a: Term, b: Term) -> Term:
+    """Unsigned less-than over bitvectors."""
     if b.is_const() and b.payload == 0:
         return mk_false()
     if a.is_const() and a.payload == 0:
@@ -454,6 +468,7 @@ def mk_ult(a: Term, b: Term) -> Term:
 
 
 def mk_ule(a: Term, b: Term) -> Term:
+    """Unsigned less-or-equal over bitvectors."""
     if a.is_const() and a.payload == 0:
         return mk_true()
     # Canonicalize to not(b < a) so <= and < intern to the same
@@ -463,10 +478,12 @@ def mk_ule(a: Term, b: Term) -> Term:
 
 
 def mk_slt(a: Term, b: Term) -> Term:
+    """Signed less-than over bitvectors."""
     return _bv_binpred("slt", a, b, lambda x, y, w: to_signed(x, w) < to_signed(y, w))
 
 
 def mk_sle(a: Term, b: Term) -> Term:
+    """Signed less-or-equal over bitvectors."""
     return mk_not(mk_slt(b, a))
 
 
@@ -481,6 +498,7 @@ def _check_same_bv(op: str, a: Term, b: Term) -> int:
 
 
 def mk_bvadd(a: Term, b: Term) -> Term:
+    """Bitvector addition (modular)."""
     w = _check_same_bv("bvadd", a, b)
     if a.is_const() and b.is_const():
         return mk_bv(a.payload + b.payload, w)
@@ -500,6 +518,7 @@ def mk_bvadd(a: Term, b: Term) -> Term:
 
 
 def mk_bvsub(a: Term, b: Term) -> Term:
+    """Bitvector subtraction (modular)."""
     w = _check_same_bv("bvsub", a, b)
     if b.is_const():
         return mk_bvadd(a, mk_bv(-b.payload, w))
@@ -512,6 +531,7 @@ def mk_bvsub(a: Term, b: Term) -> Term:
 
 
 def mk_bvmul(a: Term, b: Term) -> Term:
+    """Bitvector multiplication (modular)."""
     w = _check_same_bv("bvmul", a, b)
     if a.is_const() and b.is_const():
         return mk_bv(a.payload * b.payload, w)
@@ -530,6 +550,7 @@ def mk_bvmul(a: Term, b: Term) -> Term:
 
 
 def mk_bvudiv(a: Term, b: Term) -> Term:
+    """Unsigned division; division by zero yields all-ones (SMT-LIB)."""
     w = _check_same_bv("bvudiv", a, b)
     if b.is_const():
         if b.payload == 0:
@@ -545,6 +566,7 @@ def mk_bvudiv(a: Term, b: Term) -> Term:
 
 
 def mk_bvurem(a: Term, b: Term) -> Term:
+    """Unsigned remainder; remainder by zero yields ``a`` (SMT-LIB)."""
     w = _check_same_bv("bvurem", a, b)
     if b.is_const():
         if b.payload == 0:
@@ -579,6 +601,7 @@ def _srem_concrete(x: int, y: int, w: int) -> int:
 
 
 def mk_bvsdiv(a: Term, b: Term) -> Term:
+    """Signed division, truncating (SMT-LIB semantics)."""
     w = _check_same_bv("bvsdiv", a, b)
     if a.is_const() and b.is_const():
         return mk_bv(_sdiv_concrete(a.payload, b.payload, w), w)
@@ -586,6 +609,7 @@ def mk_bvsdiv(a: Term, b: Term) -> Term:
 
 
 def mk_bvsrem(a: Term, b: Term) -> Term:
+    """Signed remainder, sign follows the dividend (SMT-LIB)."""
     w = _check_same_bv("bvsrem", a, b)
     if a.is_const() and b.is_const():
         return mk_bv(_srem_concrete(a.payload, b.payload, w), w)
@@ -625,6 +649,7 @@ def _distribute_flags(fn, a: Term, b: Term) -> Term | None:
 
 
 def mk_bvand(a: Term, b: Term) -> Term:
+    """Bitwise and."""
     w = _check_same_bv("bvand", a, b)
     if a.is_const() and b.is_const():
         return mk_bv(a.payload & b.payload, w)
@@ -646,6 +671,7 @@ def mk_bvand(a: Term, b: Term) -> Term:
 
 
 def mk_bvor(a: Term, b: Term) -> Term:
+    """Bitwise or."""
     w = _check_same_bv("bvor", a, b)
     if a.is_const() and b.is_const():
         return mk_bv(a.payload | b.payload, w)
@@ -667,6 +693,7 @@ def mk_bvor(a: Term, b: Term) -> Term:
 
 
 def mk_bvxor(a: Term, b: Term) -> Term:
+    """Bitwise exclusive-or."""
     w = _check_same_bv("bvxor", a, b)
     if a.is_const() and b.is_const():
         return mk_bv(a.payload ^ b.payload, w)
@@ -684,6 +711,7 @@ def mk_bvxor(a: Term, b: Term) -> Term:
 
 
 def mk_bvnot(a: Term) -> Term:
+    """Bitwise complement."""
     if a.is_const():
         return mk_bv(~a.payload, a.width)
     if a.op == "bvnot":
@@ -692,6 +720,7 @@ def mk_bvnot(a: Term) -> Term:
 
 
 def mk_bvneg(a: Term) -> Term:
+    """Two's-complement negation."""
     if a.is_const():
         return mk_bv(-a.payload, a.width)
     return manager.intern("bvneg", a.sort, (a,))
@@ -705,6 +734,7 @@ def _shift_amount(b: Term, w: int) -> int | None:
 
 
 def mk_bvshl(a: Term, b: Term) -> Term:
+    """Shift left; shifts >= width yield zero (SMT-LIB)."""
     w = _check_same_bv("bvshl", a, b)
     amt = _shift_amount(b, w)
     if amt is not None:
@@ -718,6 +748,7 @@ def mk_bvshl(a: Term, b: Term) -> Term:
 
 
 def mk_bvlshr(a: Term, b: Term) -> Term:
+    """Logical shift right; shifts >= width yield zero (SMT-LIB)."""
     w = _check_same_bv("bvlshr", a, b)
     amt = _shift_amount(b, w)
     if amt is not None:
@@ -731,6 +762,7 @@ def mk_bvlshr(a: Term, b: Term) -> Term:
 
 
 def mk_bvashr(a: Term, b: Term) -> Term:
+    """Arithmetic shift right (sign-filling)."""
     w = _check_same_bv("bvashr", a, b)
     amt = _shift_amount(b, w)
     if amt is not None:
@@ -749,6 +781,7 @@ def mk_bvashr(a: Term, b: Term) -> Term:
 
 
 def mk_concat(hi: Term, lo: Term) -> Term:
+    """Concatenation: ``hi`` becomes the high-order bits."""
     if not (is_bv(hi.sort) and is_bv(lo.sort)):
         raise TypeError("concat expects bitvectors")
     w = hi.width + lo.width
@@ -758,6 +791,7 @@ def mk_concat(hi: Term, lo: Term) -> Term:
 
 
 def mk_extract(hi: int, lo: int, a: Term) -> Term:
+    """Bit slice ``a[hi:lo]`` inclusive, yielding ``hi-lo+1`` bits."""
     if not is_bv(a.sort):
         raise TypeError("extract expects a bitvector")
     if not (0 <= lo <= hi < a.width):
@@ -790,6 +824,7 @@ def mk_extract(hi: int, lo: int, a: Term) -> Term:
 
 
 def mk_zext(a: Term, extra: int) -> Term:
+    """Zero-extend by ``extra`` bits."""
     if extra < 0:
         raise ValueError("zext amount must be non-negative")
     if extra == 0:
@@ -802,6 +837,7 @@ def mk_zext(a: Term, extra: int) -> Term:
 
 
 def mk_sext(a: Term, extra: int) -> Term:
+    """Sign-extend by ``extra`` bits."""
     if extra < 0:
         raise ValueError("sext amount must be non-negative")
     if extra == 0:
@@ -816,6 +852,7 @@ def mk_sext(a: Term, extra: int) -> Term:
 
 
 def mk_apply(name: str, result_sort: Sort, args: Iterable[Term]) -> Term:
+    """Application of an uninterpreted function (Ackermannized later)."""
     return manager.intern("apply", result_sort, tuple(args), name)
 
 

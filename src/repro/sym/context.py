@@ -101,6 +101,7 @@ _stack: list[Context] = [Context()]
 
 
 def current() -> Context:
+    """The innermost active evaluation context."""
     return _stack[-1]
 
 
@@ -116,12 +117,15 @@ def new_context():
 
 
 def assert_prop(cond, message: str = "assertion", **info) -> None:
+    """Record ``cond`` as a VC in the current context (Rosette's ``assert``)."""
     current().assert_prop(cond, message, **info)
 
 
 def bug_on(cond, message: str = "undefined behavior", **info) -> None:
+    """Record ``not cond`` as a VC: a bug reachable when ``cond`` holds (§4)."""
     current().bug_on(cond, message, **info)
 
 
 def path_condition() -> Term:
+    """The current path condition (conjunction of branch guards taken)."""
     return current().path

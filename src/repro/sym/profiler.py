@@ -110,6 +110,7 @@ _active: SymProfiler | None = None
 
 
 def active_profiler() -> SymProfiler | None:
+    """The profiler enabled by the innermost ``profile()`` block, if any."""
     return _active
 
 
@@ -142,5 +143,6 @@ def region(name: str):
 
 
 def note_split(n: int = 1) -> None:
+    """Charge ``n`` path splits to the active profiler region, if any."""
     if _active is not None:
         _active.on_split(n)

@@ -26,6 +26,7 @@ __all__ = [
 
 
 def is_ite(value: SymBV | Term) -> bool:
+    """True if the underlying term is an if-then-else node."""
     term = value.term if isinstance(value, SymBV) else value
     return term.op == "ite"
 
@@ -164,6 +165,7 @@ def term_size(term: Term) -> int:
 
 
 def term_depth(term: Term) -> int:
+    """Height of the term DAG (a leaf has depth 1)."""
     depth: dict[int, int] = {}
 
     def walk(t: Term) -> int:

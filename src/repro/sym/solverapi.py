@@ -6,10 +6,11 @@ back with a counterexample model for debugging specifications and
 implementations.
 
 ``check_batch`` is the scaling entry point: it hands a set of
-independent proof obligations to ``repro.core.runner``, which can
-dispatch them across worker processes and memoize verdicts in a
-persistent solver cache.  ``verify_vcs`` routes through it whenever
-the caller asks for parallelism or caching.
+independent proof obligations to ``repro.core.runner``, which
+dispatches them onto the process-wide work-stealing scheduler
+(``repro.core.scheduler``) and memoizes verdicts in the shared
+content-addressed store (``repro.core.store``).  ``verify_vcs`` routes
+through it whenever the caller asks for parallelism or caching.
 """
 
 from __future__ import annotations

@@ -357,6 +357,7 @@ def bv(value, width: int) -> SymBV:
 
 
 def bv_val(value: int, width: int) -> SymBV:
+    """A concrete bitvector value of the given width."""
     return SymBV(mk_bv(value, width))
 
 
@@ -371,18 +372,22 @@ def named_bv(name: str, width: int) -> SymBV:
 
 
 def fresh_bool(name: str) -> SymBool:
+    """A fresh symbolic boolean (the name is uniquified)."""
     return SymBool(mk_var(manager.fresh_name(name), BOOL))
 
 
 def named_bool(name: str) -> SymBool:
+    """A named symbolic boolean; same name yields the same variable."""
     return SymBool(mk_var(name, BOOL))
 
 
 def sym_true() -> SymBool:
+    """The concrete true boolean."""
     return SymBool(mk_bool(True))
 
 
 def sym_false() -> SymBool:
+    """The concrete false boolean."""
     return SymBool(mk_bool(False))
 
 
@@ -397,18 +402,22 @@ def ite(cond, then, els):
 
 
 def sym_and(*conds) -> SymBool:
+    """Symbolic conjunction over booleans (coercing ints/bools)."""
     return SymBool(mk_and(*(_coerce_bool(c).term for c in conds)))
 
 
 def sym_or(*conds) -> SymBool:
+    """Symbolic disjunction over booleans (coercing ints/bools)."""
     return SymBool(mk_or(*(_coerce_bool(c).term for c in conds)))
 
 
 def sym_not(cond) -> SymBool:
+    """Symbolic negation of a boolean."""
     return ~_coerce_bool(cond)
 
 
 def sym_implies(a, b) -> SymBool:
+    """Symbolic implication ``a -> b``."""
     return _coerce_bool(a).implies(b)
 
 

@@ -1,0 +1,2 @@
+"""Test suite for the Serval reproduction (a package so helpers can be
+shared between modules; run with ``PYTHONPATH=src python -m pytest``)."""

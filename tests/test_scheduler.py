@@ -1,0 +1,108 @@
+"""The work-stealing obligation scheduler (``repro.core.scheduler``).
+
+The contract under test is the one CI relies on: scheduling is an
+implementation detail.  However obligations are dealt, stolen, timed
+out, and retried, the verdicts — and the first failing obligation —
+must be exactly the sequential baseline's.
+"""
+
+from repro.core.runner import Obligation, reduce_results, run_obligations
+from repro.core.scheduler import ObligationScheduler, get_scheduler, in_worker
+from repro.smt import bv_sort, fresh_var, mk_bv, mk_bvadd, mk_bvand, mk_bvmul, mk_bvxor, mk_eq, mk_ule
+
+
+def _obligation_set():
+    """A mixed batch: provable goals that reach the SAT core, plus two
+    known failures (indices 3 and 6) so first-failure is exercised."""
+    obligations = []
+    for i in range(8):
+        x = fresh_var("x", bv_sort(8))
+        y = fresh_var("y", bv_sort(8))
+        if i in (3, 6):
+            # not valid: the negation (x != 5) is satisfiable.
+            goal = mk_eq(x, mk_bv(5, 8))
+        else:
+            # valid, but not constant-folded at construction: the
+            # masked value is bounded by the mask, and xor cancels.
+            goal = mk_eq(
+                mk_bvxor(mk_bvxor(x, y), y),
+                mk_bvand(x, mk_bv(0xFF, 8)),
+            )
+            if i % 2:
+                goal = mk_ule(mk_bvand(x, mk_bv(0x0F, 8)), mk_bv(0x0F, 8))
+        obligations.append(Obligation.from_terms(f"ob{i}", [goal]))
+    return obligations
+
+
+class TestDeterminism:
+    def test_verdicts_stable_across_steal_seeds(self):
+        """Ten schedulers with different steal seeds (hence different
+        work-stealing interleavings) must all reproduce the sequential
+        verdicts in order, including the same first failure."""
+        obligations = _obligation_set()
+        seq_results, _ = run_obligations(obligations, jobs=1)
+        seq_verdicts = [r.status for r in seq_results]
+        assert seq_verdicts.count("failed") == 2
+        seq_first = reduce_results(seq_results)
+        assert seq_first is not None and seq_first.name == "ob3"
+
+        for seed in range(10):
+            sched = ObligationScheduler(workers=2, steal_seed=seed)
+            try:
+                results, stats = sched.run(obligations, jobs_hint=2)
+            finally:
+                sched.shutdown()
+            assert [r.status for r in results] == seq_verdicts, f"seed {seed}"
+            assert [r.name for r in results] == [ob.name for ob in obligations]
+            first = reduce_results(results)
+            assert first is not None and first.name == "ob3", f"seed {seed}"
+            assert stats.obligations == len(obligations)
+
+    def test_run_obligations_routes_to_shared_pool(self):
+        """jobs>1 uses the process-wide scheduler and reports
+        scheduler telemetry in the stats."""
+        obligations = _obligation_set()
+        results, stats = run_obligations(obligations, jobs=2)
+        assert [r.status for r in results] == [
+            r.status for r in run_obligations(obligations, jobs=1)[0]
+        ]
+        assert stats.jobs == 2
+        assert stats.as_dict()["pool_workers"] >= 2
+        # The pool persists: a second call reuses it (no respawn).
+        pool = get_scheduler()
+        size_before = pool.pool_size
+        run_obligations(obligations, jobs=2)
+        assert pool.pool_size == size_before
+
+    def test_not_in_worker_in_parent(self):
+        assert not in_worker()
+
+
+class TestTimeouts:
+    def test_timeout_retries_then_unknown(self):
+        """A diverging query is interrupted mid-solve, retried once,
+        and reduced as unknown — never a wrong verdict."""
+        x = fresh_var("x", bv_sort(32))
+        hard = []
+        for offset in (3, 5):
+            goal = mk_eq(mk_bvmul(x, x), mk_bvadd(x, mk_bv(offset, 32)))
+            # The negation (x*x != x+offset) needs a real SAT search.
+            hard.append(Obligation.from_terms(f"hard{offset}", [goal]))
+
+        sched = ObligationScheduler(workers=2)
+        try:
+            results, stats = sched.run(hard, timeout_s=0.001, retries=1, jobs_hint=2)
+        finally:
+            sched.shutdown()
+        assert all(r.status == "unknown" for r in results)
+        assert all(r.stats.get("timed_out") for r in results)
+        assert stats.retries == len(hard)  # one bounded retry each
+        assert stats.timeouts == 2 * len(hard)  # initial attempt + retry
+
+    def test_no_timeout_when_budget_sufficient(self):
+        x = fresh_var("x", bv_sort(8))
+        goal = mk_ule(mk_bvand(x, mk_bv(0x0F, 8)), mk_bv(0x0F, 8))
+        ob = Obligation.from_terms("easy", [goal])
+        results, stats = run_obligations([ob, ob], jobs=2, timeout_s=30.0)
+        assert all(r.status == "proved" for r in results)
+        assert stats.as_dict().get("timeouts", 0) == 0
