@@ -176,7 +176,7 @@ def main(argv=None) -> int:
     import json
     import os
 
-    from conftest import DEFAULT_CACHE_DIR, runner_summary
+    from conftest import DEFAULT_CACHE_DIR, TRACE_ARTIFACT, runner_summary
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--jobs", type=int, default=1, help="worker processes (0 = all cores)")
@@ -190,26 +190,62 @@ def main(argv=None) -> int:
         help="also run the sequential baseline and report speedup / check verdicts",
     )
     parser.add_argument("--out", default=None, help="write the runner artifact to this path")
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect a repro.obs trace of the run (spans, counters, §3.2 regions)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help=f"write the Chrome trace JSON here (implies --trace; default {TRACE_ARTIFACT})",
+    )
     args = parser.parse_args(argv)
 
     cache_dir = args.cache_dir if args.cache else None
     ops = _cli_obligation_set(args.quick)
     divergence = False
 
+    tracing_on = args.trace or args.trace_out is not None
+    collector = profiler = None
+    if tracing_on:
+        from repro.obs import tracing
+        from repro.sym.profiler import profile
+
+        trace_ctx = tracing(absorb=False)
+        profile_ctx = profile()
+        collector = trace_ctx.__enter__()
+        profiler = profile_ctx.__enter__()
+
     verdicts: dict[tuple, bool] = {}
     start = time.perf_counter()
-    for monitor, op in ops:
-        verifier = _verifier(monitor, args.opt, jobs=args.jobs, cache_dir=cache_dir)
-        result = verifier.prove_op(op)
-        verdicts[(monitor, op)] = result.proved
-        record_runner_run(f"{monitor}.{op}.O{args.opt}", result.stats)
-        print(f"  {monitor}.{op}.O{args.opt}: {'proved' if result.proved else result.describe()}")
+    try:
+        for monitor, op in ops:
+            verifier = _verifier(monitor, args.opt, jobs=args.jobs, cache_dir=cache_dir)
+            result = verifier.prove_op(op)
+            verdicts[(monitor, op)] = result.proved
+            record_runner_run(f"{monitor}.{op}.O{args.opt}", result.stats)
+            print(f"  {monitor}.{op}.O{args.opt}: {'proved' if result.proved else result.describe()}")
+    finally:
+        if tracing_on:
+            profile_ctx.__exit__(None, None, None)
+            trace_ctx.__exit__(None, None, None)
     wall = time.perf_counter() - start
 
     summary = runner_summary()
     summary["wall_time_s"] = wall
     summary["jobs"] = args.jobs
     summary["cache"] = bool(cache_dir)
+
+    obs_section: dict = {}
+    if tracing_on:
+        from repro.obs import summarize, write_chrome_trace
+
+        obs_section = summarize(collector, profiler=profiler)
+        summary["obs"] = obs_section
+        trace_out = args.trace_out or TRACE_ARTIFACT
+        write_chrome_trace(collector, trace_out)
+        print(f"wrote {os.path.abspath(trace_out)}")
     # Per-obligation verdict map: compare_runner_runs.py asserts the
     # warm run (possibly on another machine, against an imported
     # verdict store) reproduces these verdicts exactly.
@@ -237,6 +273,22 @@ def main(argv=None) -> int:
     with open(out, "w") as handle:
         json.dump(summary, handle, indent=2)
     print(f"wrote {os.path.abspath(out)}")
+
+    # The profile-then-optimize artifact: `python -m repro.obs.report
+    # BENCH_fig11.json` ranks its obligations by wall time and its
+    # regions by the §3.2 score.  Always written; the obs section is
+    # only populated when the run was traced.
+    fig11 = {
+        "wall_s": wall,
+        "obligations": summary["obligations"],
+        "cache_hits": summary["cache_hits"],
+        "cache_hit_rate": summary["cache_hit_rate"],
+        "obs": obs_section,
+    }
+    fig11_path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_fig11.json")
+    with open(fig11_path, "w") as handle:
+        json.dump(fig11, handle, indent=2)
+    print(f"wrote {os.path.abspath(fig11_path)}")
 
     if divergence:
         return 2

@@ -27,6 +27,7 @@ FULL = os.environ.get("REPRO_FULL") == "1"
 _REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 _REPORT_PATH = os.path.join(_REPO_ROOT, "bench_report.txt")
 RUNNER_ARTIFACT = os.path.join(_REPO_ROOT, "BENCH_runner.json")
+TRACE_ARTIFACT = os.path.join(_REPO_ROOT, "trace.json")
 # The default store directory honors REPRO_CACHE_DIR so CI jobs and
 # scripts/ci_local.sh can point every entry point at one shared store.
 DEFAULT_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or os.path.join(_REPO_ROOT, ".solvercache")
@@ -56,6 +57,46 @@ def pytest_addoption(parser):
         default=DEFAULT_CACHE_DIR,
         help=f"solver cache directory (default: {DEFAULT_CACHE_DIR})",
     )
+    group.addoption(
+        # Not --trace: pytest's own --trace (pdb on test start) owns it.
+        "--obs-trace",
+        action="store_true",
+        default=False,
+        help="collect a repro.obs trace for the whole session and write "
+        f"the Chrome trace to {TRACE_ARTIFACT}",
+    )
+
+
+# Session-wide tracing state, populated by pytest_configure --trace.
+_TRACE: dict = {}
+
+
+def pytest_configure(config):
+    if not config.getoption("--obs-trace", default=False):
+        return
+    from repro.obs import tracing
+    from repro.sym.profiler import profile
+
+    trace_ctx = tracing(absorb=False)
+    profile_ctx = profile()
+    _TRACE["collector"] = trace_ctx.__enter__()
+    _TRACE["profiler"] = profile_ctx.__enter__()
+    _TRACE["contexts"] = (profile_ctx, trace_ctx)
+
+
+def _finish_trace() -> dict | None:
+    """Close the session tracing context; returns the obs summary."""
+    if not _TRACE:
+        return None
+    from repro.obs import summarize, write_chrome_trace
+
+    profile_ctx, trace_ctx = _TRACE.pop("contexts")
+    collector = _TRACE.pop("collector")
+    profiler = _TRACE.pop("profiler")
+    profile_ctx.__exit__(None, None, None)
+    trace_ctx.__exit__(None, None, None)
+    write_chrome_trace(collector, TRACE_ARTIFACT)
+    return summarize(collector, profiler=profiler)
 
 
 @pytest.fixture(scope="session")
@@ -153,16 +194,19 @@ def runner_summary() -> dict:
     }
 
 
-def write_runner_artifact(path: str = RUNNER_ARTIFACT) -> dict:
+def write_runner_artifact(path: str = RUNNER_ARTIFACT, obs: dict | None = None) -> dict:
     summary = runner_summary()
+    if obs is not None:
+        summary["obs"] = obs
     with open(path, "w") as handle:
         json.dump(summary, handle, indent=2)
     return summary
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _RUNNER_LOG["runs"] and not _RUNNER_LOG["divergences"]:
+    obs = _finish_trace()
+    if not _RUNNER_LOG["runs"] and not _RUNNER_LOG["divergences"] and obs is None:
         return
-    summary = write_runner_artifact()
+    summary = write_runner_artifact(obs=obs)
     if summary["divergences"] and session.exitstatus == 0:
         session.exitstatus = 1

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI trace smoke: assert an exported Chrome trace is well-formed and
+actually covers the instrumented stack.
+
+Usage: check_trace.py trace.json [--require-layers sym,bitblast,...]
+
+Checks:
+
+  * the document passes ``repro.obs.validate_chrome_trace`` (required
+    keys, event shape, microsecond timestamps, non-negative durations);
+  * every required layer category contributed at least one span — by
+    default all five Figure-1 layers (``sym``, ``bitblast``, ``sat``,
+    ``solver-cache``, ``scheduler``), so a refactor that silently
+    disconnects one layer's instrumentation fails CI here rather than
+    shipping empty traces.
+
+Exits nonzero on any violation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.obs import LAYER_CATEGORIES, validate_chrome_trace  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace JSON (trace.json)")
+    parser.add_argument(
+        "--require-layers",
+        default=",".join(LAYER_CATEGORIES),
+        help="comma-separated span categories that must be present",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+
+    failures = list(validate_chrome_trace(doc))
+
+    events = doc.get("traceEvents", []) if isinstance(doc, dict) else []
+    present: dict[str, int] = {}
+    for event in events:
+        if isinstance(event, dict):
+            cat = event.get("cat")
+            if isinstance(cat, str):
+                present[cat] = present.get(cat, 0) + 1
+
+    required = [layer for layer in args.require_layers.split(",") if layer]
+    for layer in required:
+        if not present.get(layer):
+            failures.append(f"no spans from layer {layer!r}")
+
+    print(f"{args.trace}: {len(events)} events")
+    for cat in sorted(present):
+        print(f"  {cat:<14} {present[cat]:>8} spans")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"trace OK ({', '.join(required)} all present)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,7 +58,10 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 run_job grid-cold python benchmarks/bench_fig11_verify.py \
     --jobs 2 --cache --cache-dir "$tmp/store-cold" \
-    --quick --compare-sequential --out "$tmp/cold.json"
+    --quick --compare-sequential --out "$tmp/cold.json" \
+    --trace --trace-out "$tmp/trace.json"
+run_job grid-trace-smoke python scripts/check_trace.py "$tmp/trace.json"
+run_job grid-profile-report python -m repro.obs.report BENCH_fig11.json
 run_job grid-cold-export python -m repro.core.store \
     --store "$tmp/store-cold" export "$tmp/verdicts.tar.gz"
 run_job grid-warm-import python -m repro.core.store \

@@ -82,12 +82,35 @@ def main() -> int:
     print(describe("warm", warm))
     if warm_wall and cold_wall:
         print(f"speedup {cold_wall / warm_wall:.2f}x")
+    diff_obs(cold, warm)
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
     print("cache-warm contract holds")
     return 0
+
+
+def diff_obs(cold: dict, warm: dict) -> None:
+    """Informational diff of the two runs' ``obs`` counter sections.
+
+    A warm run re-solves nothing, so its SAT-layer work (conflicts,
+    decisions, learned clauses) should drop to ~zero while the
+    solver-cache hit counters rise — this prints the counters whose
+    values moved so that regression is visible in the CI log.  Purely
+    informational: timings and absolute counts legitimately differ
+    between machines, so nothing here fails the comparison.
+    """
+    cold_counters = (cold.get("obs") or {}).get("counters") or {}
+    warm_counters = (warm.get("obs") or {}).get("counters") or {}
+    if not cold_counters and not warm_counters:
+        return
+    print("obs counter deltas (cold -> warm):")
+    for name in sorted(set(cold_counters) | set(warm_counters)):
+        before = cold_counters.get(name, 0)
+        after = warm_counters.get(name, 0)
+        if before != after:
+            print(f"  {name:<40} {before:>12} -> {after:<12}")
 
 
 if __name__ == "__main__":

@@ -166,7 +166,7 @@ def _sweep_one(job) -> CheckResult:
     return checker(insn, jit)
 
 
-def sweep(checker, jit, insns, jobs: int = 1) -> list[CheckResult]:
+def sweep(checker, jit, insns, jobs: int = 1, trace: bool | str = False) -> list[CheckResult]:
     """Run the checker over an instruction battery.
 
     Each instruction check is an independent proof obligation — the
@@ -176,9 +176,19 @@ def sweep(checker, jit, insns, jobs: int = 1) -> list[CheckResult]:
     work-stealing pool (``repro.core.scheduler``), so a JIT sweep and
     a monitor refinement proof submitted by the same process interleave
     on the same workers instead of fighting over separate pools.
-    """
-    if jobs != 1 and len(insns) > 1:
-        from ..core.runner import parallel_map
 
-        return parallel_map(_sweep_one, [(checker, jit, insn) for insn in insns], jobs=jobs)
-    return [checker(insn, jit) for insn in insns]
+    ``trace`` opens a ``repro.obs`` tracing session around the sweep (a
+    path string writes a Chrome trace there); with scheduler dispatch
+    the per-instruction checks come back as ``scheduler``-layer spans
+    on their worker's track.
+    """
+    from ..obs import maybe_tracing
+
+    with maybe_tracing(trace):
+        if jobs != 1 and len(insns) > 1:
+            from ..core.runner import parallel_map
+
+            return parallel_map(
+                _sweep_one, [(checker, jit, insn) for insn in insns], jobs=jobs
+            )
+        return [checker(insn, jit) for insn in insns]

@@ -42,6 +42,11 @@ import os
 import time
 from typing import Callable, Iterable, Sequence
 
+from ..obs import (
+    enabled as _obs_enabled,
+    get_collector as _obs_collector,
+    span as _obs_span,
+)
 from ..smt import (
     SolverTimeout,
     Term,
@@ -174,12 +179,28 @@ def _check_obligation(
     cache_dir: str | None,
     max_conflicts: int | None,
     timeout_s: float | None,
+    trace: bool = False,
 ) -> ObligationResult:
     """Discharge one obligation in the current process.
 
     Top-level (not a closure) so worker processes can receive it via
     pickling under any multiprocessing start method.
+
+    With ``trace`` the check runs inside its own tracing session plus
+    symbolic profiler and the snapshot is embedded as
+    ``result.stats["obs"]`` — the envelope the PR 2 fallback pool ships
+    back to the parent (the work-stealing scheduler has its own,
+    richer, envelope path through the outbox).
     """
+    if trace:
+        from ..obs import tracing
+        from ..sym.profiler import profile
+
+        with tracing(absorb=False) as col, profile() as prof:
+            result = _check_obligation(obligation, cache_dir, max_conflicts, timeout_s)
+        col.merge_regions(prof.snapshot())
+        result.stats["obs"] = col.snapshot()
+        return result
     start = time.perf_counter()
     roots = deserialize_terms(obligation.payload)
     goals = roots[: obligation.num_goals]
@@ -211,8 +232,8 @@ def _check_obligation(
 
 
 def _worker(job: tuple) -> ObligationResult:
-    obligation, cache_dir, max_conflicts, timeout_s = job
-    return _check_obligation(obligation, cache_dir, max_conflicts, timeout_s)
+    obligation, cache_dir, max_conflicts, timeout_s, trace = job
+    return _check_obligation(obligation, cache_dir, max_conflicts, timeout_s, trace=trace)
 
 
 def _pool_context():
@@ -262,18 +283,51 @@ def run_obligations(
     if in_worker():
         jobs = 1
     start = time.perf_counter()
+    tracing_on = _obs_enabled()
     if jobs <= 1 or len(obligations) <= 1:
-        results = [
-            _check_obligation(ob, cache_dir, max_conflicts, timeout_s) for ob in obligations
-        ]
+        # In-process: solver/sym events already record straight into the
+        # caller's collector; only the per-obligation scheduler-layer
+        # span needs adding.
+        results = []
+        for ob in obligations:
+            with _obs_span(ob.name, cat="scheduler") as sargs:
+                result = _check_obligation(ob, cache_dir, max_conflicts, timeout_s)
+            if sargs is not None:
+                sargs["status"] = result.status
+            results.append(result)
         effective_jobs = 1
     elif _pool_fallback():
-        # PR 2 fallback: a pool scoped to this one call.
+        # PR 2 fallback: a pool scoped to this one call.  Workers embed
+        # their trace snapshot in ``stats["obs"]``; reassemble here.
+        from ..sym.profiler import active_profiler
+
+        trace = tracing_on or active_profiler() is not None
         effective_jobs = min(jobs, len(obligations))
-        jobs_args = [(ob, cache_dir, max_conflicts, timeout_s) for ob in obligations]
+        jobs_args = [(ob, cache_dir, max_conflicts, timeout_s, trace) for ob in obligations]
         ctx = _pool_context()
         with ctx.Pool(processes=effective_jobs) as pool:
             results = pool.map(_worker, jobs_args, chunksize=1)
+        if trace:
+            col = _obs_collector()
+            prof = active_profiler()
+            for result in results:
+                snap = result.stats.pop("obs", None)
+                if snap is None:
+                    continue
+                if prof is not None:
+                    prof.merge_from(snap.get("regions", {}))
+                if col is not None:
+                    if prof is not None:
+                        snap = {**snap, "regions": {}}
+                    col.absorb(snap, tid="worker")
+                    col.add_span(
+                        result.name,
+                        "scheduler",
+                        "worker",
+                        snap["t0"],
+                        result.stats.get("time_s", 0.0),
+                        {"status": result.status},
+                    )
     else:
         from .scheduler import get_scheduler
 

@@ -110,7 +110,18 @@ class _CallError:
 
 
 class _Task:
-    __slots__ = ("tid", "kind", "payload", "ticket", "index", "attempts", "max_attempts", "name")
+    __slots__ = (
+        "tid",
+        "kind",
+        "payload",
+        "ticket",
+        "index",
+        "attempts",
+        "max_attempts",
+        "name",
+        "queued_t",
+        "stolen",
+    )
 
     def __init__(self, tid, kind, payload, ticket, index, max_attempts, name):
         self.tid = tid
@@ -121,15 +132,27 @@ class _Task:
         self.attempts = 0
         self.max_attempts = max_attempts
         self.name = name
+        self.queued_t = time.perf_counter()
+        self.stolen = False
 
 
 class _Ticket:
-    """One submission's rendezvous point and per-run telemetry."""
+    """One submission's rendezvous point and per-run telemetry.
 
-    def __init__(self, count: int):
+    With ``trace`` set, workers run each task inside their own tracing
+    session and ship the span/counter/region snapshot back through the
+    outbox; ``obs`` holds those ``(wid, snapshot)`` envelopes and
+    ``timeline`` the queued/start/end record per task, both indexed by
+    submission order.
+    """
+
+    def __init__(self, count: int, trace: bool = False):
         self.results: list = [None] * count
         self.pending = count
         self.event = threading.Event()
+        self.trace = trace
+        self.obs: list = [None] * count
+        self.timeline: list = [None] * count
         self.steals = 0
         self.retries = 0
         self.timeouts = 0
@@ -141,26 +164,45 @@ class _Ticket:
         return self.results
 
 
+def _run_task(kind: str, payload) -> object:
+    if kind == "ob":
+        obligation, cache_dir, max_conflicts, timeout_s = payload
+        return _check_obligation(obligation, cache_dir, max_conflicts, timeout_s)
+    fn, item = payload
+    return fn(item)
+
+
 def _worker_main(wid: int, inbox, outbox) -> None:
     """Worker process loop: pull a task, solve, report, repeat.
 
     Never raises out of the loop — any failure is reported as a result
     so the dispatcher, not the pool, decides what to do about it.
+
+    When the parent is tracing (``trace`` set in the task message), the
+    task runs inside its own obs tracing session plus symbolic
+    profiler, and the serialized snapshot rides home in the outbox
+    message.  ``time.perf_counter()`` is machine-wide on Linux, so the
+    worker's span timestamps land directly on the parent's timeline.
     """
     os.environ[_WORKER_ENV] = "1"
     while True:
         msg = inbox.get()
         if msg is None:
             return
-        tid, kind, payload = msg
+        tid, kind, payload, trace = msg
         start = time.perf_counter()
+        snap = None
         try:
-            if kind == "ob":
-                obligation, cache_dir, max_conflicts, timeout_s = payload
-                result = _check_obligation(obligation, cache_dir, max_conflicts, timeout_s)
+            if trace:
+                from ..obs import tracing
+                from ..sym.profiler import profile
+
+                with tracing(absorb=False) as col, profile() as prof:
+                    result = _run_task(kind, payload)
+                col.merge_regions(prof.snapshot())
+                snap = col.snapshot()
             else:
-                fn, item = payload
-                result = fn(item)
+                result = _run_task(kind, payload)
         except BaseException as exc:  # resilience: the loop must survive
             if kind == "ob":
                 result = ObligationResult(
@@ -168,7 +210,7 @@ def _worker_main(wid: int, inbox, outbox) -> None:
                 )
             else:
                 result = _CallError(repr(exc))
-        outbox.put((wid, tid, result, time.perf_counter() - start))
+        outbox.put((wid, tid, result, time.perf_counter() - start, start, snap))
 
 
 class _Worker:
@@ -271,6 +313,7 @@ class ObligationScheduler:
         max_conflicts: int | None = None,
         timeout_s: float | None = None,
         retries: int = 1,
+        trace: bool = False,
     ) -> _Ticket:
         """Queue obligations; returns a ticket to ``wait()`` on.
 
@@ -280,15 +323,15 @@ class ObligationScheduler:
         specs = [
             ("ob", (ob, cache_dir, max_conflicts, timeout_s), ob.name) for ob in obligations
         ]
-        return self._submit(specs, retries)
+        return self._submit(specs, retries, trace)
 
-    def submit_calls(self, fn, items, retries: int = 0) -> _Ticket:
+    def submit_calls(self, fn, items, retries: int = 0, trace: bool = False) -> _Ticket:
         """Queue generic ``fn(item)`` tasks (the JIT-sweep shape)."""
         specs = [("call", (fn, item), f"{getattr(fn, '__name__', 'call')}[{i}]") for i, item in enumerate(items)]
-        return self._submit(specs, retries)
+        return self._submit(specs, retries, trace)
 
-    def _submit(self, specs, retries: int) -> _Ticket:
-        ticket = _Ticket(len(specs))
+    def _submit(self, specs, retries: int, trace: bool = False) -> _Ticket:
+        ticket = _Ticket(len(specs), trace=trace)
         if not specs:
             ticket.event.set()
             return ticket
@@ -337,14 +380,35 @@ class ObligationScheduler:
             if stolen:
                 self.steals += 1
                 task.ticket.steals += 1
+                task.stolen = True
             self._idle.discard(wid)
             self._inflight[wid] = tid
-            worker.inbox.put((tid, task.kind, task.payload))
+            worker.inbox.put((tid, task.kind, task.payload, task.ticket.trace))
 
-    def _finalize(self, task: _Task, result) -> None:
+    def _finalize(
+        self,
+        task: _Task,
+        result,
+        wid: int | None = None,
+        start: float | None = None,
+        elapsed: float = 0.0,
+        snap: dict | None = None,
+    ) -> None:
         del self._tasks[task.tid]
         ticket = task.ticket
         ticket.results[task.index] = result
+        if wid is not None and start is not None:
+            ticket.timeline[task.index] = {
+                "name": task.name,
+                "queued_t": task.queued_t,
+                "start_t": start,
+                "end_t": start + elapsed,
+                "wid": wid,
+                "stolen": task.stolen,
+                "attempts": task.attempts + 1,
+            }
+        if snap is not None:
+            ticket.obs[task.index] = (wid, snap)
         ticket.pending -= 1
         if ticket.pending == 0:
             ticket.event.set()
@@ -362,7 +426,7 @@ class ObligationScheduler:
     def _loop(self) -> None:
         while True:
             try:
-                wid, tid, result, elapsed = self._outbox.get(timeout=0.2)
+                wid, tid, result, elapsed, start, snap = self._outbox.get(timeout=0.2)
             except queue_mod.Empty:
                 with self._lock:
                     if self.closed:
@@ -384,11 +448,13 @@ class ObligationScheduler:
                     self._feed_idle()
                     continue
                 task.ticket.busy_s += elapsed
-                self._handle_result(wid, task, result)
+                self._handle_result(wid, task, result, elapsed, start, snap)
                 self._note_depth()
                 self._feed_idle()
 
-    def _handle_result(self, wid: int, task: _Task, result) -> None:
+    def _handle_result(
+        self, wid: int, task: _Task, result, elapsed: float, start: float, snap: dict | None
+    ) -> None:
         if task.kind == "ob":
             timed_out = (
                 isinstance(result, ObligationResult)
@@ -402,7 +468,7 @@ class ObligationScheduler:
             if (timed_out or errored) and task.attempts + 1 < task.max_attempts:
                 self._requeue(wid, task)
                 return
-        self._finalize(task, result)
+        self._finalize(task, result, wid=wid, start=start, elapsed=elapsed, snap=snap)
 
     def _check_workers(self) -> None:
         for worker in self._workers:
@@ -426,6 +492,60 @@ class ObligationScheduler:
 
     # -- high-level entry points ----------------------------------------
 
+    @staticmethod
+    def _want_trace(trace: bool | None) -> bool:
+        """Default the ``trace`` knob to "the caller is observing":
+        an obs tracing session or a symbolic profiler is active."""
+        if trace is not None:
+            return trace
+        from ..obs import enabled
+        from ..sym.profiler import active_profiler
+
+        return enabled() or active_profiler() is not None
+
+    def _collect_trace(self, ticket: _Ticket) -> None:
+        """Reassemble worker envelopes into the caller's collector and
+        profiler, and lay down one ``scheduler``-category span per task
+        (its solving interval, on its worker's track)."""
+        from ..obs import get_collector
+        from ..sym.profiler import active_profiler
+
+        col = get_collector()
+        prof = active_profiler()
+        for entry in ticket.obs:
+            if entry is None:
+                continue
+            wid, snap = entry
+            if prof is not None:
+                prof.merge_from(snap.get("regions", {}))
+            if col is not None:
+                if prof is not None:
+                    # Regions went to the profiler; don't double-count.
+                    snap = {**snap, "regions": {}}
+                col.absorb(snap, tid=f"worker-{wid}")
+        if col is None:
+            return
+        for index, entry in enumerate(ticket.timeline):
+            if entry is None:
+                continue
+            result = ticket.results[index]
+            args = {
+                "queued_s": entry["start_t"] - entry["queued_t"],
+                "stolen": entry["stolen"],
+                "attempts": entry["attempts"],
+                "worker": entry["wid"],
+            }
+            if isinstance(result, ObligationResult):
+                args["status"] = result.status
+            col.add_span(
+                entry["name"],
+                "scheduler",
+                f"worker-{entry['wid']}",
+                entry["start_t"],
+                entry["end_t"] - entry["start_t"],
+                args,
+            )
+
     def run(
         self,
         obligations,
@@ -434,6 +554,7 @@ class ObligationScheduler:
         timeout_s: float | None = None,
         retries: int = 1,
         jobs_hint: int | None = None,
+        trace: bool | None = None,
     ) -> tuple[list[ObligationResult], SchedulerStats]:
         """Submit, wait, and reduce — the ``run_obligations`` shape.
 
@@ -442,15 +563,19 @@ class ObligationScheduler:
         the whole pool participates.
         """
         start = time.perf_counter()
+        trace = self._want_trace(trace)
         ticket = self.submit_obligations(
             obligations,
             cache_dir=cache_dir,
             max_conflicts=max_conflicts,
             timeout_s=timeout_s,
             retries=retries,
+            trace=trace,
         )
         results = ticket.wait()
         wall = time.perf_counter() - start
+        if trace:
+            self._collect_trace(ticket)
         workers = len(self._workers)
         stats = SchedulerStats(
             obligations=len(obligations),
@@ -468,14 +593,17 @@ class ObligationScheduler:
         )
         return results, stats
 
-    def map(self, fn, items) -> list:
+    def map(self, fn, items, trace: bool | None = None) -> list:
         """Order-preserving parallel map over the shared pool.
 
         Raises ``RuntimeError`` if ``fn`` raised in a worker (after the
         worker-death retry budget), mirroring ``Pool.map``.
         """
-        ticket = self.submit_calls(fn, list(items))
+        trace = self._want_trace(trace)
+        ticket = self.submit_calls(fn, list(items), trace=trace)
         results = ticket.wait()
+        if trace:
+            self._collect_trace(ticket)
         for result in results:
             if isinstance(result, _CallError):
                 raise RuntimeError(f"scheduler map task failed: {result.message}")

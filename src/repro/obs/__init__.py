@@ -1,0 +1,65 @@
+"""``repro.obs`` — unified tracing and metrics for the whole stack.
+
+Every layer of the Figure-1 stack reports here: symbolic evaluation
+(``sym`` regions), bit-blasting (``bitblast``), the CDCL core
+(``sat``), the verdict cache (``solver-cache``), and the
+work-stealing scheduler (``scheduler``, one span per proof-obligation
+timeline).  The paper's workflow is profile-then-optimize (§3.2); this
+package is what makes that workflow possible once the work runs in
+scheduler worker processes — workers serialize their span buffers and
+counter deltas into the result envelope, and the parent reassembles
+one coherent trace per ``run_obligations`` call.
+
+Usage::
+
+    from repro import obs
+
+    with obs.tracing() as col:
+        verifier.prove_op("get_quota")          # any stack entry point
+    obs.write_chrome_trace(col, "trace.json")   # chrome://tracing / Perfetto
+    print(obs.render_report({"obs": obs.summarize(col)}))
+
+Disabled-by-default: ``obs.span(...)``/``obs.count(...)`` outside a
+``tracing()`` block cost one global load and a None test.  Counters
+never include wall-clock values, so they are bit-identical across two
+runs with the same seed — the determinism contract CI checks.
+"""
+
+from .collector import (
+    Collector,
+    SpanEvent,
+    count,
+    enabled,
+    get_collector,
+    maybe_tracing,
+    span,
+    tracing,
+)
+from .export import (
+    LAYER_CATEGORIES,
+    chrome_trace,
+    jsonl_lines,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .report import render_report, summarize
+
+__all__ = [
+    "Collector",
+    "LAYER_CATEGORIES",
+    "SpanEvent",
+    "chrome_trace",
+    "count",
+    "enabled",
+    "get_collector",
+    "jsonl_lines",
+    "maybe_tracing",
+    "render_report",
+    "span",
+    "summarize",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

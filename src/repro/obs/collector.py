@@ -1,0 +1,349 @@
+"""Span/counter collection: the heart of ``repro.obs``.
+
+One :class:`Collector` holds everything a tracing session records:
+
+  * **spans** — named intervals with a category (the Figure-1 layer
+    that emitted them: ``sym``, ``bitblast``, ``sat``, ``solver-cache``,
+    ``scheduler``), a track id (``main`` or ``worker-N``), and a
+    mutable ``args`` dict filled in as the span closes;
+  * **counters** — monotonically accumulated integers
+    (``sat.conflicts``, ``sym.terms``, ...).  Counters never include
+    wall-clock quantities, so two runs of the same workload with the
+    same seeds produce bit-identical counter maps — the property the
+    CI determinism guard checks;
+  * **regions** — aggregated §3.2 symbolic-profiler region statistics
+    merged in from worker snapshots.
+
+The module-level API (:func:`span`, :func:`count`) is the one the rest
+of the stack calls.  Its disabled fast path is a single global load
+plus an ``is None`` test, returning a shared no-op context manager —
+no allocation, no clock read — so instrumentation can stay in hot
+paths permanently.
+
+Timestamps are ``time.perf_counter()`` values.  On Linux that clock is
+``CLOCK_MONOTONIC``, which is machine-wide, so spans recorded in
+forked worker processes land on the same timeline as the parent's when
+their snapshots are absorbed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = [
+    "Collector",
+    "SpanEvent",
+    "count",
+    "enabled",
+    "get_collector",
+    "maybe_tracing",
+    "span",
+    "tracing",
+]
+
+# Spans beyond this are dropped (and counted) so a pathological run —
+# e.g. a span per engine step over a huge binary — cannot exhaust
+# memory; counters are unaffected by the cap.
+MAX_SPANS = 200_000
+
+
+class SpanEvent:
+    """One closed span: ``[ts, ts + dur)`` on track ``tid``."""
+
+    __slots__ = ("name", "cat", "tid", "ts", "dur", "args")
+
+    def __init__(self, name: str, cat: str, tid: str, ts: float, dur: float, args: dict | None):
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+
+    def as_row(self) -> list:
+        """Portable serialization (the worker->parent envelope format)."""
+        return [self.name, self.cat, self.tid, self.ts, self.dur, self.args or None]
+
+    def __repr__(self) -> str:
+        return f"SpanEvent({self.cat}/{self.name} @{self.ts:.6f} +{self.dur * 1e3:.3f}ms)"
+
+
+class _Span:
+    """Live span handle; ``with`` yields the mutable args dict."""
+
+    __slots__ = ("_col", "_name", "_cat", "_tid", "_args", "_start")
+
+    def __init__(self, col: "Collector", name: str, cat: str, tid: str, args: dict):
+        self._col = col
+        self._name = name
+        self._cat = cat
+        self._tid = tid
+        self._args = args
+
+    def __enter__(self) -> dict:
+        self._start = time.perf_counter()
+        return self._args
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.perf_counter()
+        self._col.add_span(
+            self._name, self._cat, self._tid, self._start, end - self._start, self._args
+        )
+        return False
+
+
+class _NullSpan:
+    """Shared no-op context manager: the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Collector:
+    """Accumulates spans, counters, and region stats for one session."""
+
+    def __init__(self, max_spans: int = MAX_SPANS):
+        self.spans: list[SpanEvent] = []
+        self.counters: dict[str, int] = {}
+        self.regions: dict[str, dict] = {}
+        self.max_spans = max_spans
+        self.dropped_spans = 0
+        self.t0 = time.perf_counter()
+        # absorb() may be driven from another thread than the one
+        # recording spans; counter read-modify-writes need the lock.
+        self._lock = threading.Lock()
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name: str, cat: str = "app", tid: str = "main", **args) -> _Span:
+        return _Span(self, name, cat, tid, args)
+
+    def add_span(
+        self, name: str, cat: str, tid: str, ts: float, dur: float, args: dict | None
+    ) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped_spans += 1
+            return
+        # Keep the args dict itself (even when still empty): callers
+        # fill it in after the ``with`` block closes, and ``as_row``
+        # drops it at serialization time if it stayed empty.
+        self.spans.append(SpanEvent(name, cat, tid, ts, dur, args))
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- merging ---------------------------------------------------------
+
+    def merge_regions(self, regions: dict[str, dict]) -> None:
+        """Accumulate aggregated SymProfiler region stats."""
+        with self._lock:
+            for name, incoming in regions.items():
+                mine = self.regions.get(name)
+                if mine is None:
+                    self.regions[name] = dict(incoming)
+                    continue
+                for key, value in incoming.items():
+                    if key == "name":
+                        continue
+                    if key == "max_union":
+                        mine[key] = max(mine.get(key, 0), value)
+                    else:
+                        mine[key] = mine.get(key, 0) + value
+
+    def absorb(self, snapshot: dict, tid: str | None = None) -> None:
+        """Merge a serialized child snapshot (worker envelope or nested
+        tracing block) into this collector.
+
+        ``tid`` relabels the child's spans onto one track — the parent
+        uses ``worker-N`` so a reassembled trace shows each worker as
+        its own row.
+        """
+        for row in snapshot.get("spans", ()):
+            name, cat, child_tid, ts, dur, args = row
+            self.add_span(name, cat, tid or child_tid, ts, dur, args)
+        self.dropped_spans += snapshot.get("dropped_spans", 0)
+        with self._lock:
+            for key, value in snapshot.get("counters", {}).items():
+                self.counters[key] = self.counters.get(key, 0) + value
+        self.merge_regions(snapshot.get("regions", {}))
+
+    # -- serialization ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Portable dict of everything recorded (the result envelope)."""
+        with self._lock:
+            return {
+                "t0": self.t0,
+                "spans": [event.as_row() for event in self.spans],
+                "dropped_spans": self.dropped_spans,
+                "counters": dict(self.counters),
+                "regions": {name: dict(stats) for name, stats in self.regions.items()},
+            }
+
+
+# ---------------------------------------------------------------------------
+# The process-global tracing stack
+
+_stack: list[Collector] = []
+_active: Collector | None = None
+
+
+def enabled() -> bool:
+    """True when a tracing session is active in this process."""
+    return _active is not None
+
+
+def get_collector() -> Collector | None:
+    """The innermost active collector, or None."""
+    return _active
+
+
+def span(name: str, cat: str = "app", tid: str = "main", **args):
+    """Record a span into the active collector; no-op when disabled.
+
+    Yields the span's mutable ``args`` dict (or None when disabled), so
+    instrumentation can attach results as the span closes::
+
+        with obs.span("sat.solve", cat="sat") as sargs:
+            status = sat.solve()
+        if sargs is not None:
+            sargs["status"] = status
+    """
+    col = _active
+    if col is None:
+        return _NULL_SPAN
+    return col.span(name, cat=cat, tid=tid, **args)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter in the active collector; no-op when disabled."""
+    col = _active
+    if col is not None:
+        col.count(name, n)
+
+
+class _Tracing:
+    """Context manager entering/leaving a tracing session.
+
+    Nesting is allowed: an inner session shadows the outer one (events
+    go to the innermost collector only) and, with ``absorb=True`` (the
+    default), folds its events into the outer collector on exit so the
+    outer trace stays coherent.  Worker-side sessions use
+    ``absorb=False`` and ship their snapshot through the result
+    envelope instead.
+    """
+
+    def __init__(self, absorb: bool = True, collector: Collector | None = None):
+        self._absorb = absorb
+        self.collector = collector or Collector()
+        self._hook_token = None
+
+    def __enter__(self) -> Collector:
+        global _active
+        _stack.append(self.collector)
+        _active = self.collector
+        self._hook_token = _install_term_hooks(self.collector)
+        return self.collector
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _active
+        _remove_term_hooks(self._hook_token)
+        _stack.pop()
+        _active = _stack[-1] if _stack else None
+        if self._absorb and _active is not None:
+            _active.absorb(self.collector.snapshot())
+        return False
+
+
+def tracing(absorb: bool = True, collector: Collector | None = None) -> _Tracing:
+    """Start a tracing session: ``with tracing() as col: ...``."""
+    return _Tracing(absorb=absorb, collector=collector)
+
+
+class _MaybeTracing:
+    """``trace=`` knob semantics shared by the verifier entry points.
+
+    ``trace`` may be falsy (no-op), True (collect; caller reads the
+    collector), or a path string (collect and write a Chrome trace
+    there on exit).
+    """
+
+    def __init__(self, trace):
+        self._trace = trace
+        self._inner: _Tracing | None = None
+
+    def __enter__(self) -> Collector | None:
+        if not self._trace:
+            return None
+        self._inner = _Tracing(absorb=True)
+        return self._inner.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._inner is None:
+            return False
+        self._inner.__exit__(exc_type, exc, tb)
+        if isinstance(self._trace, str):
+            from .export import write_chrome_trace
+
+            write_chrome_trace(self._inner.collector, self._trace)
+        return False
+
+
+def maybe_tracing(trace) -> _MaybeTracing:
+    """Tracing gated on a ``trace`` knob (False | True | output path)."""
+    return _MaybeTracing(trace)
+
+
+# ---------------------------------------------------------------------------
+# Term/merge hook chaining (sym.terms / sym.merges counters)
+
+
+def _install_term_hooks(col: Collector):
+    """Chain counting hooks onto the term manager and merge hook.
+
+    Imported lazily so ``repro.obs`` itself has no import-time
+    dependency on the smt/sym layers (they import us).
+    """
+    from ..smt.terms import manager
+    from ..sym.merge import get_merge_hook, set_merge_hook
+
+    old_term = manager.on_new_term
+    old_merge = get_merge_hook()
+
+    def term_hook(term):
+        col.counters["sym.terms"] = col.counters.get("sym.terms", 0) + 1
+        if old_term is not None:
+            old_term(term)
+
+    def merge_hook(guard, a, b):
+        col.counters["sym.merges"] = col.counters.get("sym.merges", 0) + 1
+        if old_merge is not None:
+            old_merge(guard, a, b)
+
+    manager.on_new_term = term_hook
+    set_merge_hook(merge_hook)
+    return (old_term, old_merge, term_hook, merge_hook)
+
+
+def _remove_term_hooks(token) -> None:
+    if token is None:
+        return
+    from ..smt.terms import manager
+    from ..sym.merge import get_merge_hook, set_merge_hook
+
+    old_term, old_merge, term_hook, merge_hook = token
+    # Only unwind if nobody chained on top of us in the meantime.
+    if manager.on_new_term is term_hook:
+        manager.on_new_term = old_term
+    if get_merge_hook() is merge_hook:
+        set_merge_hook(old_merge)

@@ -1,0 +1,135 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and JSONL.
+
+The Chrome format is the one ``chrome://tracing`` and Perfetto load
+directly: an object with a ``traceEvents`` list of complete ("ph: X")
+events, timestamps in microseconds.  Each span's category is the
+Figure-1 layer that emitted it (``sym``, ``bitblast``, ``sat``,
+``solver-cache``, ``scheduler``) and its ``tid`` is the track —
+``main`` for the parent process, ``worker-N`` for scheduler workers —
+so a reassembled multi-process run renders as one timeline with a row
+per worker.
+
+``validate_chrome_trace`` is the schema check shared by the tests and
+the CI smoke step (``scripts/check_trace.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .collector import Collector
+
+__all__ = [
+    "chrome_trace",
+    "jsonl_lines",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+# The five instrumented layers of the Figure-1 stack; CI asserts an
+# exported end-to-end trace contains spans from every one of them.
+LAYER_CATEGORIES = ("sym", "bitblast", "sat", "solver-cache", "scheduler")
+
+
+def _snapshot(source) -> dict:
+    if isinstance(source, Collector):
+        return source.snapshot()
+    return source
+
+
+def chrome_trace(source) -> dict:
+    """Render a Collector (or snapshot dict) as Chrome trace JSON.
+
+    Timestamps are normalized so the earliest span starts at t=0 —
+    absolute ``perf_counter`` values are meaningless to a viewer.
+    """
+    snap = _snapshot(source)
+    rows = snap.get("spans", [])
+    t0 = min((row[3] for row in rows), default=0.0)
+    pid = os.getpid()
+    events = []
+    for name, cat, tid, ts, dur, args in rows:
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": round((ts - t0) * 1e6, 1),
+            "dur": round(dur * 1e6, 1),
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(sorted(snap.get("counters", {}).items())),
+            "dropped_spans": snap.get("dropped_spans", 0),
+        },
+    }
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+
+
+def write_chrome_trace(source, path: str) -> dict:
+    """Write Chrome trace JSON to ``path``; returns the document."""
+    doc = chrome_trace(source)
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        json.dump(doc, handle)
+    return doc
+
+
+def jsonl_lines(source):
+    """Yield one JSON document per span, then one ``counters`` record."""
+    snap = _snapshot(source)
+    for name, cat, tid, ts, dur, args in snap.get("spans", []):
+        record = {"type": "span", "name": name, "cat": cat, "tid": tid, "ts": ts, "dur": dur}
+        if args:
+            record["args"] = args
+        yield json.dumps(record)
+    yield json.dumps(
+        {"type": "counters", "counters": dict(sorted(snap.get("counters", {}).items()))}
+    )
+
+
+def write_jsonl(source, path: str) -> None:
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        for line in jsonl_lines(source):
+            handle.write(line + "\n")
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Schema-check a Chrome trace document; returns a list of problems
+    (empty = valid).  Checks the keys Perfetto/chrome://tracing rely on."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"top level must be an object, got {type(doc).__name__}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"event {i} ({event.get('name', '?')}) missing {key!r}")
+        if event.get("ph") == "X" and "dur" not in event:
+            problems.append(f"event {i} ({event.get('name', '?')}) is ph=X without dur")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"event {i} has bad ts {ts!r}")
+        if len(problems) > 20:
+            problems.append("... (truncated)")
+            break
+    return problems

@@ -1,0 +1,147 @@
+"""Terminal profile report: ``python -m repro.obs.report BENCH_fig11.json``.
+
+Ranks proof obligations by wall time and symbolic-profiler regions by
+the §3.2 bottleneck score — the profile-then-optimize loop the paper
+runs with SymPro, over the artifact a traced benchmark run persisted.
+
+Accepts any JSON document that either *is* an obs summary (has
+``obligations``/``regions``/``counters`` keys) or carries one under an
+``obs`` key (``BENCH_fig11.json``, ``BENCH_runner.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["summarize", "render_report", "main"]
+
+
+def summarize(collector, profiler=None) -> dict:
+    """Condense a Collector (plus optional SymProfiler) into the
+    ``obs`` section persisted in benchmark artifacts.
+
+    Obligation rows come from the scheduler-category spans (one per
+    obligation, whichever process solved it); region rows come from the
+    profiler when one is supplied (it has both parent- and worker-side
+    regions merged), else from the collector's absorbed worker regions.
+    """
+    obligations = []
+    for event in collector.spans:
+        if event.cat != "scheduler":
+            continue
+        row = {"name": event.name, "wall_s": event.dur, "worker": event.tid}
+        if event.args:
+            row.update(event.args)
+        obligations.append(row)
+    obligations.sort(key=lambda r: r["wall_s"], reverse=True)
+
+    if profiler is not None:
+        regions = {name: stats.as_dict() for name, stats in profiler.regions.items()}
+    else:
+        regions = {name: dict(stats) for name, stats in collector.regions.items()}
+    region_rows = sorted(regions.values(), key=_region_score, reverse=True)
+
+    return {
+        "counters": dict(sorted(collector.counters.items())),
+        "spans": len(collector.spans),
+        "dropped_spans": collector.dropped_spans,
+        "obligations": obligations,
+        "regions": region_rows,
+    }
+
+
+def _region_score(region: dict) -> float:
+    """§3.2 bottleneck score of an aggregated region row (delegates to
+    ``RegionStats`` so the weights live in exactly one place)."""
+    from ..sym.profiler import RegionStats
+
+    return RegionStats(
+        name=region.get("name", "?"),
+        terms=region.get("terms", 0),
+        merges=region.get("merges", 0),
+        splits=region.get("splits", 0),
+        max_union=region.get("max_union", 0),
+    ).score
+
+
+def _extract_obs(doc: dict) -> dict:
+    if isinstance(doc, dict) and isinstance(doc.get("obs"), dict):
+        return doc["obs"]
+    return doc if isinstance(doc, dict) else {}
+
+
+def render_report(doc: dict, top: int = 15) -> str:
+    """The human-readable profile for one artifact document."""
+    obs = _extract_obs(doc)
+    lines: list[str] = []
+
+    if isinstance(doc.get("wall_s"), (int, float)):
+        lines.append(
+            f"run: wall {doc['wall_s']:.2f}s, {doc.get('obligations', '?')} obligations, "
+            f"{doc.get('cache_hits', 0)} cache hits"
+        )
+
+    obligations = obs.get("obligations") or []
+    lines.append(f"\n== obligations by wall time (top {min(top, len(obligations))}) ==")
+    if obligations:
+        lines.append(
+            f"{'obligation':<44} {'wall(s)':>8} {'worker':>9} {'stolen':>6} "
+            f"{'attempts':>8} {'queued(s)':>9}"
+        )
+        for row in obligations[:top]:
+            lines.append(
+                f"{row.get('name', '?')[:44]:<44} {row.get('wall_s', 0.0):>8.3f} "
+                f"{str(row.get('worker', '-')):>9} {str(row.get('stolen', '-')):>6} "
+                f"{str(row.get('attempts', '-')):>8} {row.get('queued_s', 0.0):>9.3f}"
+            )
+    else:
+        lines.append("  (none recorded — run with tracing enabled)")
+
+    regions = obs.get("regions") or []
+    lines.append(f"\n== regions by §3.2 bottleneck score (top {min(top, len(regions))}) ==")
+    if regions:
+        lines.append(
+            f"{'region':<28} {'calls':>7} {'terms':>9} {'merges':>8} {'splits':>7} "
+            f"{'maxU':>5} {'incl(s)':>8} {'excl(s)':>8} {'score':>10}"
+        )
+        for region in regions[:top]:
+            lines.append(
+                f"{region.get('name', '?')[:28]:<28} {region.get('calls', 0):>7} "
+                f"{region.get('terms', 0):>9} {region.get('merges', 0):>8} "
+                f"{region.get('splits', 0):>7} {region.get('max_union', 0):>5} "
+                f"{region.get('time_s', 0.0):>8.3f} {region.get('excl_s', 0.0):>8.3f} "
+                f"{_region_score(region):>10.0f}"
+            )
+    else:
+        lines.append("  (none recorded)")
+
+    counters = obs.get("counters") or {}
+    lines.append(f"\n== counters ({len(counters)}) ==")
+    for name, value in sorted(counters.items()):
+        lines.append(f"  {name:<40} {value:>14}")
+    if obs.get("dropped_spans"):
+        lines.append(f"\n({obs['dropped_spans']} spans dropped past the buffer cap)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="BENCH_fig11.json / BENCH_runner.json / obs summary JSON")
+    parser.add_argument("--top", type=int, default=15, help="rows per ranking table")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.artifact) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.artifact}: {exc}", file=sys.stderr)
+        return 2
+
+    print(render_report(doc, top=args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

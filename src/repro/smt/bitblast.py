@@ -14,6 +14,7 @@ the same symbol.
 
 from __future__ import annotations
 
+from ..obs import enabled as _obs_enabled
 from .sat.solver import SatSolver
 from .sorts import BOOL
 from .terms import Term
@@ -141,6 +142,12 @@ class BitBlaster:
         self.var_bits: dict[str, list[int] | int] = {}
         # UF name -> list of (arg bit lists, result bits)
         self._uf_apps: dict[str, list[tuple[list[list[int]], list[int] | int]]] = {}
+        # Per-sort emission profile, populated only while repro.obs
+        # tracing is enabled: sort label -> [aux vars, clauses] emitted
+        # while blasting nodes of that sort (exclusive of children, so
+        # the per-sort numbers sum to the totals).
+        self.emitted: dict[str, list[int]] = {}
+        self._attr_stack: list[list] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -153,17 +160,52 @@ class BitBlaster:
     def bool_lit(self, term: Term) -> int:
         lit = self._bool_cache.get(term.tid)
         if lit is None:
-            lit = self._blast_bool(term)
+            if _obs_enabled():
+                lit = self._attributed("bool", self._blast_bool, term)
+            else:
+                lit = self._blast_bool(term)
             self._bool_cache[term.tid] = lit
         return lit
 
     def bv_bits(self, term: Term) -> list[int]:
         bits = self._bv_cache.get(term.tid)
         if bits is None:
-            bits = self._blast_bv(term)
+            if _obs_enabled():
+                bits = self._attributed(f"bv{term.width}", self._blast_bv, term)
+            else:
+                bits = self._blast_bv(term)
             assert len(bits) == term.width, f"{term.op}: {len(bits)} != {term.width}"
             self._bv_cache[term.tid] = bits
         return bits
+
+    def _charge(self, label: str, aux_vars: int, clauses: int) -> None:
+        cell = self.emitted.get(label)
+        if cell is None:
+            cell = self.emitted[label] = [0, 0]
+        cell[0] += aux_vars
+        cell[1] += clauses
+
+    def _attributed(self, label: str, blast, term: Term):
+        """Run one node's blast, attributing its *exclusive* aux-var and
+        clause emission to ``label`` (nested child blasts charge their
+        own sorts — the same resume-mark trick the symbolic profiler
+        uses for exclusive time)."""
+        sat = self.sat
+        stack = self._attr_stack
+        if stack:
+            parent = stack[-1]
+            self._charge(parent[0], sat.num_vars - parent[1], sat.added_clauses - parent[2])
+        frame = [label, sat.num_vars, sat.added_clauses]
+        stack.append(frame)
+        try:
+            out = blast(term)
+        finally:
+            stack.pop()
+            self._charge(label, sat.num_vars - frame[1], sat.added_clauses - frame[2])
+            if stack:
+                stack[-1][1] = sat.num_vars
+                stack[-1][2] = sat.added_clauses
+        return out
 
     # -- boolean terms ---------------------------------------------------------
 

@@ -79,9 +79,20 @@ class SatSolver:
         # VSIDS order: lazy max-heap of (-activity, var); stale entries
         # (assigned vars or outdated activities) are skipped on pop.
         self._order_heap: list[tuple[float, int]] = []
+        # Per-solve search counters: reset at each solve() entry so the
+        # numbers describe one query, not the solver's lifetime (the
+        # stats feed per-obligation telemetry; cross-solve accumulation
+        # would make them meaningless).  stats() packages them.
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        self.learned_clauses = 0
+        self.conflict_literals = 0
+        self.max_decision_level = 0
+        # Problem-size counter: clauses actually recorded by add_clause
+        # (monotone, never reset — it measures the CNF, not a search).
+        self.added_clauses = 0
         self.timed_out = False
         self.max_learned = 4000
 
@@ -127,6 +138,7 @@ class SatSolver:
         if not clause:
             self._ok = False
             return False
+        self.added_clauses += 1
         if len(clause) == 1:
             self._enqueue(clause[0], None)
             self._ok = self._propagate() is None
@@ -366,6 +378,13 @@ class SatSolver:
         forever.  ``self.timed_out`` records which budget fired.
         """
         self.timed_out = False
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self.learned_clauses = 0
+        self.conflict_literals = 0
+        self.max_decision_level = 0
         if not self._ok:
             return UNSAT
         self._backtrack(0)
@@ -405,6 +424,8 @@ class SatSolver:
                     self._backtrack(0)
                     return UNSAT
                 learned, bj = self._analyze(conflict)
+                self.learned_clauses += 1
+                self.conflict_literals += len(learned)
                 self._backtrack(max(bj, self._num_assumed))
                 if len(learned) == 1:
                     if self._value(learned[0]) is False:
@@ -424,6 +445,7 @@ class SatSolver:
                 conflicts_until_restart -= 1
                 if conflicts_until_restart <= 0:
                     restart_idx += 1
+                    self.restarts += 1
                     conflicts_until_restart = 100 * luby(restart_idx)
                     self._backtrack(self._num_assumed)
                     self._reduce_learned()
@@ -447,6 +469,8 @@ class SatSolver:
                 return SAT
             self.decisions += 1
             self._trail_lim.append(len(self._trail))
+            if len(self._trail_lim) > self.max_decision_level:
+                self.max_decision_level = len(self._trail_lim)
             self._enqueue(lit, None)
 
     @property
@@ -465,6 +489,31 @@ class SatSolver:
             return self.solve(list(assumptions), max_conflicts=max_conflicts, timeout_s=timeout_s)
         finally:
             self._assumed_count = 0
+
+    def stats(self) -> dict:
+        """Counters for the most recent ``solve()`` call.
+
+        Search counters (conflicts, decisions, propagations, restarts,
+        learned clauses, conflict literals, max decision level) are
+        per-solve; ``vars``/``clauses`` describe the loaded problem.
+        ``avg_learned_len`` is the conflict-literal rate — long learned
+        clauses are the classic symptom of a poorly decomposed query.
+        """
+        return {
+            "vars": self.num_vars,
+            "clauses": self.added_clauses,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "learned_kept": len(self._learned),
+            "conflict_literals": self.conflict_literals,
+            "max_decision_level": self.max_decision_level,
+            "avg_learned_len": (
+                self.conflict_literals / self.learned_clauses if self.learned_clauses else 0.0
+            ),
+        }
 
     def model(self) -> dict[int, bool]:
         """The satisfying assignment, as {var: bool}."""

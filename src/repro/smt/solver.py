@@ -19,6 +19,7 @@ import os
 import tempfile
 import time
 
+from ..obs import count as obs_count, span as obs_span
 from .bitblast import BitBlaster
 from .model import Model
 from .sat.solver import SAT, SatSolver, UNKNOWN, UNSAT
@@ -209,35 +210,69 @@ class Solver:
     def check(self, *extra: Term) -> CheckResult:
         """Check satisfiability of the asserted formulas plus ``extra``."""
         start = time.perf_counter()
+        obs_count("solver.queries")
         terms = list(self._assertions) + list(extra)
         # Fast path: syntactic trivialities.
         if any(t is mk_bool(False) for t in terms):
+            obs_count("solver.trivial")
             return CheckResult(UNSAT, stats={"trivial": True, "time_s": 0.0})
         terms = [t for t in terms if t is not mk_bool(True)]
         if not terms:
+            obs_count("solver.trivial")
             return CheckResult(SAT, Model({}), stats={"trivial": True, "time_s": 0.0})
 
         digest = var_map = None
         if self.cache is not None:
-            digest, var_map = canonicalize_query(terms)
-            cached = self.cache.lookup(digest, var_map)
+            with obs_span("canonicalize", cat="solver-cache") as cargs:
+                digest, var_map = canonicalize_query(terms)
+            if cargs is not None:
+                cargs["vars"] = len(var_map)
+            with obs_span("cache.lookup", cat="solver-cache") as largs:
+                cached = self.cache.lookup(digest, var_map)
+            if largs is not None:
+                largs["hit"] = cached is not None
             if cached is not None:
+                obs_count("solver.cache.hits")
                 self.last_stats = dict(cached.stats)
                 return cached
+            obs_count("solver.cache.misses")
 
         sat = SatSolver()
         blaster = BitBlaster(sat)
-        for t in terms:
-            blaster.assert_term(t)
+        with obs_span("bitblast", cat="bitblast") as bargs:
+            for t in terms:
+                blaster.assert_term(t)
         blast_time = time.perf_counter() - start
+        if bargs is not None:
+            bargs.update(vars=sat.num_vars, clauses=sat.added_clauses)
+            obs_count("bitblast.queries")
+            obs_count("bitblast.vars", sat.num_vars)
+            obs_count("bitblast.clauses", sat.added_clauses)
+            for label, (aux_vars, clauses) in sorted(blaster.emitted.items()):
+                obs_count(f"bitblast.aux_vars.{label}", aux_vars)
+                obs_count(f"bitblast.clauses.{label}", clauses)
 
         sat_budget_s = None
         if self.timeout_s is not None:
             # Hand the SAT core whatever wall-clock budget blasting left
             # over, so a hung search stops *during* the solve.
             sat_budget_s = max(self.timeout_s - blast_time, 0.0)
-        status = sat.solve(max_conflicts=self.max_conflicts, timeout_s=sat_budget_s)
+        with obs_span("sat.solve", cat="sat") as sargs:
+            status = sat.solve(max_conflicts=self.max_conflicts, timeout_s=sat_budget_s)
         elapsed = time.perf_counter() - start
+        sat_stats = sat.stats()
+        if sargs is not None:
+            sargs["status"] = status
+            sargs.update(sat_stats)
+            for key in (
+                "conflicts",
+                "decisions",
+                "propagations",
+                "restarts",
+                "learned_clauses",
+                "conflict_literals",
+            ):
+                obs_count(f"sat.{key}", sat_stats[key])
         self.last_stats = {
             "time_s": elapsed,
             "blast_time_s": blast_time,
@@ -246,6 +281,10 @@ class Solver:
             "conflicts": sat.conflicts,
             "decisions": sat.decisions,
             "propagations": sat.propagations,
+            "restarts": sat.restarts,
+            "learned_clauses": sat.learned_clauses,
+            "conflict_literals": sat.conflict_literals,
+            "max_decision_level": sat.max_decision_level,
         }
         if sat.timed_out or (self.timeout_s is not None and elapsed > self.timeout_s):
             self.last_stats["timed_out"] = True

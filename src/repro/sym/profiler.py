@@ -12,6 +12,16 @@ profiler instead tracks, per labeled region:
 and ranks regions by a score computed from these statistics.  In the
 ToyRISC walkthrough this is what flags ``fetch``'s ``vector-ref``
 exploding under a symbolic pc.
+
+Since the observability PR the profiler is unified with ``repro.obs``:
+each region entry/exit also emits a ``sym``-category span (with the
+region's per-call term/merge/split deltas as span args) into the
+active tracing session, region time is reported both *inclusive* and
+*exclusive* of nested regions, and worker processes ship their region
+statistics back to the parent through the result envelope
+(:meth:`SymProfiler.snapshot` / :meth:`SymProfiler.merge_from`), which
+is what keeps :func:`active_profiler` meaningful when the actual
+evaluation runs inside scheduler workers.
 """
 
 from __future__ import annotations
@@ -20,8 +30,9 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 import time
 
+from .. import obs
 from ..smt import manager
-from .merge import set_merge_hook
+from .merge import get_merge_hook, set_merge_hook
 
 __all__ = ["RegionStats", "SymProfiler", "profile", "active_profiler"]
 
@@ -35,11 +46,27 @@ class RegionStats:
     splits: int = 0
     max_union: int = 0
     time_s: float = 0.0
+    # Time spent in this region *excluding* nested regions — the
+    # inclusive time_s double-counts children toward parents, which
+    # skews "where is the time actually going" rankings.
+    excl_s: float = 0.0
 
     @property
     def score(self) -> float:
         """Bottleneck heuristic: splits and merges dominate term churn."""
         return self.terms + 20.0 * self.merges + 100.0 * self.splits + 50.0 * self.max_union
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "terms": self.terms,
+            "merges": self.merges,
+            "splits": self.splits,
+            "max_union": self.max_union,
+            "time_s": self.time_s,
+            "excl_s": self.excl_s,
+        }
 
 
 class SymProfiler:
@@ -47,7 +74,9 @@ class SymProfiler:
 
     def __init__(self) -> None:
         self.regions: dict[str, RegionStats] = {}
-        self._active: list[tuple[str, float]] = []
+        # Active-region stack entries are mutable frames:
+        # [name, start, last_resume, terms0, merges0, splits0].
+        self._active: list[list] = []
 
     # -- region scoping --------------------------------------------------------
 
@@ -55,16 +84,35 @@ class SymProfiler:
     def region(self, name: str):
         stats = self.regions.setdefault(name, RegionStats(name))
         stats.calls += 1
-        self._active.append((name, time.perf_counter()))
+        span = obs.span(name, cat="sym")
+        span_args = span.__enter__()
+        now = time.perf_counter()
+        if self._active:
+            parent = self._active[-1]
+            self.regions[parent[0]].excl_s += now - parent[2]
+        frame = [name, now, now, stats.terms, stats.merges, stats.splits]
+        self._active.append(frame)
         try:
             yield stats
         finally:
-            _, start = self._active.pop()
-            stats.time_s += time.perf_counter() - start
+            end = time.perf_counter()
+            self._active.pop()
+            stats.time_s += end - frame[1]
+            stats.excl_s += end - frame[2]
+            if self._active:
+                # Parent's exclusive clock resumes where the child ended.
+                self._active[-1][2] = end
+            if span_args is not None:
+                span_args.update(
+                    terms=stats.terms - frame[3],
+                    merges=stats.merges - frame[4],
+                    splits=stats.splits - frame[5],
+                )
+            span.__exit__(None, None, None)
 
     def _each_active(self):
-        for name, _ in self._active:
-            yield self.regions[name]
+        for frame in self._active:
+            yield self.regions[frame[0]]
 
     # -- event hooks ----------------------------------------------------------
 
@@ -88,6 +136,25 @@ class SymProfiler:
         for stats in self._each_active():
             stats.splits += n
 
+    # -- worker reassembly ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """Serializable region statistics (the worker->parent envelope)."""
+        return {name: stats.as_dict() for name, stats in self.regions.items()}
+
+    def merge_from(self, regions: dict[str, dict]) -> None:
+        """Fold a snapshot from another profiler (typically a scheduler
+        worker's) into this one: counts and times add, max-union maxes."""
+        for name, incoming in regions.items():
+            stats = self.regions.setdefault(name, RegionStats(name))
+            stats.calls += incoming.get("calls", 0)
+            stats.terms += incoming.get("terms", 0)
+            stats.merges += incoming.get("merges", 0)
+            stats.splits += incoming.get("splits", 0)
+            stats.max_union = max(stats.max_union, incoming.get("max_union", 0))
+            stats.time_s += incoming.get("time_s", 0.0)
+            stats.excl_s += incoming.get("excl_s", 0.0)
+
     # -- reporting ----------------------------------------------------------------
 
     def ranking(self) -> list[RegionStats]:
@@ -96,12 +163,13 @@ class SymProfiler:
     def report(self, top: int = 10) -> str:
         lines = [
             f"{'region':<28} {'calls':>7} {'terms':>9} {'merges':>8} "
-            f"{'splits':>7} {'maxU':>5} {'time(s)':>8} {'score':>10}"
+            f"{'splits':>7} {'maxU':>5} {'incl(s)':>8} {'excl(s)':>8} {'score':>10}"
         ]
         for stats in self.ranking()[:top]:
             lines.append(
                 f"{stats.name:<28} {stats.calls:>7} {stats.terms:>9} {stats.merges:>8} "
-                f"{stats.splits:>7} {stats.max_union:>5} {stats.time_s:>8.3f} {stats.score:>10.0f}"
+                f"{stats.splits:>7} {stats.max_union:>5} {stats.time_s:>8.3f} "
+                f"{stats.excl_s:>8.3f} {stats.score:>10.0f}"
             )
         return "\n".join(lines)
 
@@ -116,33 +184,59 @@ def active_profiler() -> SymProfiler | None:
 
 @contextmanager
 def profile():
-    """Enable symbolic profiling for a ``with`` block; yields the profiler."""
+    """Enable symbolic profiling for a ``with`` block; yields the profiler.
+
+    Hooks are *chained*, not replaced: a profiler inside an obs tracing
+    session feeds both its regions and the session's ``sym.*``
+    counters.
+    """
     global _active
     previous = _active
     profiler = SymProfiler()
     _active = profiler
     old_term_hook = manager.on_new_term
-    manager.on_new_term = profiler.on_new_term
-    set_merge_hook(profiler.on_merge)
+    old_merge_hook = get_merge_hook()
+
+    def term_hook(term):
+        profiler.on_new_term(term)
+        if old_term_hook is not None:
+            old_term_hook(term)
+
+    def merge_hook(guard, a, b):
+        profiler.on_merge(guard, a, b)
+        if old_merge_hook is not None:
+            old_merge_hook(guard, a, b)
+
+    manager.on_new_term = term_hook
+    set_merge_hook(merge_hook)
     try:
         yield profiler
     finally:
         _active = previous
         manager.on_new_term = old_term_hook
-        set_merge_hook(None)
+        set_merge_hook(old_merge_hook)
 
 
 @contextmanager
 def region(name: str):
-    """Attribute enclosed work to ``name`` if a profiler is active."""
-    if _active is None:
-        yield None
-    else:
+    """Attribute enclosed work to ``name`` if a profiler is active.
+
+    With no profiler but an active obs tracing session, the region
+    still emits its ``sym`` span, so traces of unprofiled runs keep
+    their symbolic-evaluation timeline.
+    """
+    if _active is not None:
         with _active.region(name) as stats:
             yield stats
+    elif obs.enabled():
+        with obs.span(name, cat="sym"):
+            yield None
+    else:
+        yield None
 
 
 def note_split(n: int = 1) -> None:
     """Charge ``n`` path splits to the active profiler region, if any."""
     if _active is not None:
         _active.on_split(n)
+    obs.count("sym.splits", n)
