@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare a fresh grid run to the committed baseline.
+
+Usage: check_bench.py CURRENT.json BASELINE.json
+           [--max-wall-regression 0.25] [--max-prop-growth 0.10]
+
+Fails (nonzero exit) when the current quick-grid artifact regresses
+past the committed ``BENCH_baseline.json``:
+
+  * wall time more than ``--max-wall-regression`` (default 25%) above
+    the baseline's — generous enough to absorb CI machine variance,
+    tight enough to catch a hot-loop regression;
+  * ``sat.propagations`` more than ``--max-prop-growth`` (default 10%)
+    above the baseline's — propagation counts are deterministic per
+    query set, so this threshold can be much tighter than wall time.
+
+Both artifacts must carry an ``obs.counters`` section (run the
+benchmark with ``--trace``); a missing section is a hard failure so a
+silently untraced run can never pass the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"FAIL: cannot read {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="fresh BENCH_fig11.json from this run")
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("--max-wall-regression", type=float, default=0.25)
+    parser.add_argument("--max-prop-growth", type=float, default=0.10)
+    args = parser.parse_args()
+
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+
+    failures = []
+    for name, path, doc in (
+        ("current", args.current, current),
+        ("baseline", args.baseline, baseline),
+    ):
+        if not (doc.get("obs") or {}).get("counters"):
+            print(
+                f"FAIL: {name} artifact {path} has no obs.counters section — "
+                "run the benchmark with --trace so the gate can compare "
+                "propagation counts",
+                file=sys.stderr,
+            )
+            return 3
+
+    cur_wall = current.get("wall_s", 0.0)
+    base_wall = baseline.get("wall_s", 0.0)
+    wall_ceiling = base_wall * (1.0 + args.max_wall_regression)
+    if base_wall and cur_wall > wall_ceiling:
+        failures.append(
+            f"wall time regressed: {cur_wall:.2f}s > {wall_ceiling:.2f}s "
+            f"(baseline {base_wall:.2f}s + {args.max_wall_regression:.0%})"
+        )
+
+    cur_props = current["obs"]["counters"].get("sat.propagations", 0)
+    base_props = baseline["obs"]["counters"].get("sat.propagations", 0)
+    prop_ceiling = base_props * (1.0 + args.max_prop_growth)
+    if base_props and cur_props > prop_ceiling:
+        failures.append(
+            f"sat.propagations grew: {cur_props} > {prop_ceiling:.0f} "
+            f"(baseline {base_props} + {args.max_prop_growth:.0%})"
+        )
+
+    print(
+        f"wall: {cur_wall:.2f}s vs baseline {base_wall:.2f}s "
+        f"({base_wall / cur_wall:.2f}x)" if cur_wall else "wall: n/a"
+    )
+    if cur_props and base_props:
+        print(
+            f"sat.propagations: {cur_props} vs baseline {base_props} "
+            f"({base_props / cur_props:.2f}x)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("perf gate holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

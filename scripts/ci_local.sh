@@ -49,6 +49,11 @@ else
     run_job test-slow python -m pytest -x -q -m slow
 fi
 
+# -- sat-stress ------------------------------------------------------
+# DIMACS corpus agreement (arena / arena-nochrono / legacy) plus
+# incremental-vs-fresh obligation verdict equality.
+run_job sat-stress python scripts/sat_stress.py
+
 # -- grid-cold / grid-warm -------------------------------------------
 # Mirrors CI's two-job shared-store pipeline: the cold "machine" runs
 # the Figure 11 quick grid and exports its verdict store as a tar.gz;
@@ -60,6 +65,8 @@ run_job grid-cold python benchmarks/bench_fig11_verify.py \
     --jobs 2 --cache --cache-dir "$tmp/store-cold" \
     --quick --compare-sequential --out "$tmp/cold.json" \
     --trace --trace-out "$tmp/trace.json"
+run_job grid-perf-gate python scripts/check_bench.py \
+    BENCH_fig11.json BENCH_baseline.json
 run_job grid-trace-smoke python scripts/check_trace.py "$tmp/trace.json"
 run_job grid-profile-report python -m repro.obs.report BENCH_fig11.json
 run_job grid-cold-export python -m repro.core.store \
@@ -68,7 +75,8 @@ run_job grid-warm-import python -m repro.core.store \
     --store "$tmp/store-warm" import "$tmp/verdicts.tar.gz"
 run_job grid-warm python benchmarks/bench_fig11_verify.py \
     --jobs 2 --cache --cache-dir "$tmp/store-warm" \
-    --quick --out "$tmp/warm.json"
+    --quick --out "$tmp/warm.json" \
+    --trace --trace-out "$tmp/warm_trace.json"
 run_job grid-assert python scripts/compare_runner_runs.py \
     "$tmp/cold.json" "$tmp/warm.json" --allow-slower
 

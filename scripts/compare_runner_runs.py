@@ -82,6 +82,14 @@ def main() -> int:
     print(describe("warm", warm))
     if warm_wall and cold_wall:
         print(f"speedup {cold_wall / warm_wall:.2f}x")
+    for name, path, run in (("cold", args.cold, cold), ("warm", args.warm, warm)):
+        if not (run.get("obs") or {}).get("counters"):
+            print(
+                f"FAIL: {name} artifact {path} has no obs section — "
+                "re-run with --trace so the counter diff can be checked",
+                file=sys.stderr,
+            )
+            return 4
     diff_obs(cold, warm)
     if failures:
         for failure in failures:
@@ -103,8 +111,6 @@ def diff_obs(cold: dict, warm: dict) -> None:
     """
     cold_counters = (cold.get("obs") or {}).get("counters") or {}
     warm_counters = (warm.get("obs") or {}).get("counters") or {}
-    if not cold_counters and not warm_counters:
-        return
     print("obs counter deltas (cold -> warm):")
     for name in sorted(set(cold_counters) | set(warm_counters)):
         before = cold_counters.get(name, 0)

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""SAT stress gate: corpus agreement across solver implementations and modes.
+
+Usage: sat_stress.py [--corpus-only] [--obligations]
+
+Two layers of checking, mirroring the ``sat-stress`` CI job:
+
+  * **DIMACS corpus** (``tests/data/*.cnf``): every instance is solved
+    by the arena solver (chronological backtracking on and off) and the
+    legacy reference solver; all verdicts must agree with each other
+    and with the ``c expect`` header, and every SAT model is checked
+    against the clauses.
+  * **Obligation modes**: a small verification grid runs in two child
+    processes — one with ``REPRO_NO_INCREMENTAL=1`` (fresh solver per
+    check), one in the default incremental mode — and the per-
+    obligation verdict lists must be identical.
+
+Exits nonzero on any disagreement.  ``--obligations`` is the child-
+process entry point (prints a verdict JSON line; not for direct use).
+"""
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+
+def load_dimacs(path):
+    """Parse a DIMACS file -> (num_vars, clauses, expected verdict)."""
+    num_vars, clauses, expect = 0, [], None
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line.startswith("c expect"):
+                expect = line.split()[2]
+            elif line.startswith("c") or not line:
+                continue
+            elif line.startswith("p cnf"):
+                num_vars = int(line.split()[2])
+            else:
+                lits = [int(tok) for tok in line.split()]
+                assert lits[-1] == 0, f"{path}: clause not 0-terminated"
+                clauses.append(lits[:-1])
+    return num_vars, clauses, expect
+
+
+def check_corpus() -> int:
+    from repro.smt.sat import SAT, ArenaSolver, SatSolver, UNSAT
+
+    paths = sorted(glob.glob(os.path.join(REPO, "tests", "data", "*.cnf")))
+    if not paths:
+        print("FAIL: no .cnf files under tests/data/", file=sys.stderr)
+        return 1
+
+    failures = 0
+    variants = [
+        ("arena", lambda: ArenaSolver()),
+        ("arena-nochrono", lambda: _no_chrono()),
+        ("legacy", lambda: SatSolver()),
+    ]
+
+    def _no_chrono():
+        solver = ArenaSolver()
+        solver.chrono_threshold = None
+        return solver
+
+    for path in paths:
+        num_vars, clauses, expect = load_dimacs(path)
+        verdicts = {}
+        for label, make in variants:
+            solver = make()
+            solver.ensure_vars(num_vars)
+            ok = True
+            for clause in clauses:
+                ok = solver.add_clause(list(clause)) and ok
+            result = solver.solve() if ok else UNSAT
+            verdicts[label] = result
+            if result == SAT:
+                for clause in clauses:
+                    if not any(solver.value(lit) for lit in clause):
+                        print(
+                            f"FAIL: {os.path.basename(path)} [{label}]: "
+                            f"model falsifies clause {clause}",
+                            file=sys.stderr,
+                        )
+                        failures += 1
+        agreed = len(set(verdicts.values())) == 1
+        expected_ok = expect is None or all(v == expect for v in verdicts.values())
+        status = "ok" if agreed and expected_ok else "FAIL"
+        print(f"{status}: {os.path.basename(path):24s} {verdicts}")
+        if not agreed:
+            print(
+                f"FAIL: {os.path.basename(path)}: implementations disagree: {verdicts}",
+                file=sys.stderr,
+            )
+            failures += 1
+        elif not expected_ok:
+            print(
+                f"FAIL: {os.path.basename(path)}: expected {expect}, got {verdicts}",
+                file=sys.stderr,
+            )
+            failures += 1
+    return 1 if failures else 0
+
+
+def obligation_verdicts() -> list[str]:
+    """The child-process payload: solve a small grid, return verdicts."""
+    from repro.core.runner import Obligation, run_obligations
+    from repro.smt import bv_sort, fresh_var, mk_bv, mk_bvand, mk_bvmul, mk_bvxor, mk_eq, mk_ule
+
+    obligations = []
+    for i in range(10):
+        x = fresh_var("sx", bv_sort(8))
+        y = fresh_var("sy", bv_sort(8))
+        if i % 4 == 3:
+            goal = mk_eq(mk_bvmul(x, y), mk_bv(91, 8))  # not valid
+        elif i % 2:
+            goal = mk_ule(mk_bvand(x, mk_bv(0x3F, 8)), mk_bv(0x3F, 8))
+        else:
+            goal = mk_eq(mk_bvxor(mk_bvxor(x, y), y), mk_bvand(x, mk_bv(0xFF, 8)))
+        obligations.append(Obligation.from_terms(f"stress{i}", [goal]))
+    results, _ = run_obligations(obligations, jobs=1)
+    return [r.status for r in results]
+
+
+def check_modes() -> int:
+    verdicts = {}
+    for mode, env_val in (("incremental", "0"), ("fresh", "1")):
+        env = dict(os.environ)
+        env["REPRO_NO_INCREMENTAL"] = env_val
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), "--obligations"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        if proc.returncode != 0:
+            print(f"FAIL: {mode} child exited {proc.returncode}:\n{proc.stderr}", file=sys.stderr)
+            return 1
+        verdicts[mode] = json.loads(proc.stdout.strip().splitlines()[-1])
+        print(f"{mode:12s} {verdicts[mode]}")
+    if verdicts["incremental"] != verdicts["fresh"]:
+        print(
+            "FAIL: incremental and fresh-solver verdicts differ:\n"
+            f"  incremental: {verdicts['incremental']}\n"
+            f"  fresh:       {verdicts['fresh']}",
+            file=sys.stderr,
+        )
+        return 1
+    print("mode agreement holds")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corpus-only", action="store_true")
+    parser.add_argument("--obligations", action="store_true", help=argparse.SUPPRESS)
+    args = parser.parse_args()
+
+    if args.obligations:
+        print(json.dumps(obligation_verdicts()))
+        return 0
+
+    rc = check_corpus()
+    if not args.corpus_only:
+        rc = check_modes() or rc
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

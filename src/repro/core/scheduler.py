@@ -204,6 +204,11 @@ def _worker_main(wid: int, inbox, outbox) -> None:
             else:
                 result = _run_task(kind, payload)
         except BaseException as exc:  # resilience: the loop must survive
+            # A crash may have left the worker's incremental SAT session
+            # mid-mutation; drop it so the next task starts clean.
+            from ..smt.solver import reset_incremental_session
+
+            reset_incremental_session()
             if kind == "ob":
                 result = ObligationResult(
                     payload[0].name, UNKNOWN, stats={"worker_error": repr(exc)}

@@ -139,6 +139,19 @@ def main(argv=None) -> int:
         print(f"cannot read {args.artifact}: {exc}", file=sys.stderr)
         return 2
 
+    obs = _extract_obs(doc)
+    has_content = isinstance(obs.get("counters"), dict) and obs["counters"]
+    has_content = has_content or isinstance(obs.get("obligations"), list) and obs["obligations"]
+    has_content = has_content or isinstance(obs.get("regions"), list) and obs["regions"]
+    if not has_content:
+        print(
+            f"{args.artifact}: no obs section to report on — re-run the "
+            "benchmark with tracing enabled (e.g. bench_fig11_verify.py "
+            "--trace) to collect counters, spans, and regions.",
+            file=sys.stderr,
+        )
+        return 3
+
     print(render_report(doc, top=args.top))
     return 0
 

@@ -15,19 +15,19 @@ the same symbol.
 from __future__ import annotations
 
 from ..obs import enabled as _obs_enabled
-from .sat.solver import SatSolver
+from .sat import new_solver
 from .sorts import BOOL
 from .terms import Term
 
 
 class CnfBuilder:
-    """Tseitin gate encodings over a :class:`SatSolver`.
+    """Tseitin gate encodings over a SAT solver.
 
     Literal 'TRUE' is a dedicated variable asserted at level 0, so
     constants flow through gate constructors without special cases.
     """
 
-    def __init__(self, sat: SatSolver):
+    def __init__(self, sat):
         self.sat = sat
         self.TRUE = sat.new_var()
         sat.add_clause([self.TRUE])
@@ -131,10 +131,20 @@ class CnfBuilder:
 
 
 class BitBlaster:
-    """Lowers term DAGs to CNF over a shared :class:`SatSolver`."""
+    """Lowers term DAGs to CNF over a shared SAT solver.
 
-    def __init__(self, sat: SatSolver | None = None):
-        self.sat = sat or SatSolver()
+    Besides the CNF itself, the blaster keeps an always-on record of
+    which solver variables and how many clauses each term node's blast
+    emitted (exclusive of children).  The incremental session in
+    ``repro.smt.solver`` unions those per-tid variable ranges over a
+    query's DAG to obtain the query's *cone* — the set of variables a
+    relevancy-restricted solve is allowed to decide — and uses the
+    clause counts to report how much CNF a query reused from earlier
+    blasts.
+    """
+
+    def __init__(self, sat=None):
+        self.sat = sat if sat is not None else new_solver()
         self.cnf = CnfBuilder(self.sat)
         self._bool_cache: dict[int, int] = {}
         self._bv_cache: dict[int, list[int]] = {}
@@ -147,7 +157,12 @@ class BitBlaster:
         # while blasting nodes of that sort (exclusive of children, so
         # the per-sort numbers sum to the totals).
         self.emitted: dict[str, list[int]] = {}
-        self._attr_stack: list[list] = []
+        # term tid -> flat [lo, hi, ...] pairs: solver vars lo+1..hi
+        # were allocated exclusively while blasting that node.
+        self._tid_segs: dict[int, list[int]] = {}
+        # term tid -> clauses emitted exclusively by that node's blast.
+        self._tid_clauses: dict[int, int] = {}
+        self._frames: list[list] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -160,23 +175,33 @@ class BitBlaster:
     def bool_lit(self, term: Term) -> int:
         lit = self._bool_cache.get(term.tid)
         if lit is None:
-            if _obs_enabled():
-                lit = self._attributed("bool", self._blast_bool, term)
-            else:
-                lit = self._blast_bool(term)
+            lit = self._tracked(term.tid, "bool", self._blast_bool, term)
             self._bool_cache[term.tid] = lit
         return lit
 
     def bv_bits(self, term: Term) -> list[int]:
         bits = self._bv_cache.get(term.tid)
         if bits is None:
-            if _obs_enabled():
-                bits = self._attributed(f"bv{term.width}", self._blast_bv, term)
-            else:
-                bits = self._blast_bv(term)
+            bits = self._tracked(term.tid, f"bv{term.width}", self._blast_bv, term)
             assert len(bits) == term.width, f"{term.op}: {len(bits)} != {term.width}"
             self._bv_cache[term.tid] = bits
         return bits
+
+    def cone_vars(self, tids) -> set[int]:
+        """Union of the solver variables blasted for ``tids``."""
+        segs_by_tid = self._tid_segs
+        cone: set[int] = set()
+        for tid in tids:
+            segs = segs_by_tid.get(tid)
+            if segs:
+                for i in range(0, len(segs), 2):
+                    cone.update(range(segs[i] + 1, segs[i + 1] + 1))
+        return cone
+
+    def clauses_for(self, tids) -> int:
+        """Total clauses emitted (exclusively) by the blasts of ``tids``."""
+        counts = self._tid_clauses
+        return sum(counts.get(tid, 0) for tid in tids)
 
     def _charge(self, label: str, aux_vars: int, clauses: int) -> None:
         cell = self.emitted.get(label)
@@ -185,26 +210,43 @@ class BitBlaster:
         cell[0] += aux_vars
         cell[1] += clauses
 
-    def _attributed(self, label: str, blast, term: Term):
-        """Run one node's blast, attributing its *exclusive* aux-var and
-        clause emission to ``label`` (nested child blasts charge their
-        own sorts — the same resume-mark trick the symbolic profiler
-        uses for exclusive time)."""
+    def _record(self, frame, num_vars: int, added_clauses: int) -> None:
+        """Close the open emission segment of ``frame`` and advance its
+        marks to the current solver state."""
+        tid, label, v0, c0 = frame
+        if num_vars > v0:
+            segs = self._tid_segs.get(tid)
+            if segs is None:
+                segs = self._tid_segs[tid] = []
+            segs.append(v0)
+            segs.append(num_vars)
+        if (num_vars > v0 or added_clauses > c0) and _obs_enabled():
+            self._charge(label, num_vars - v0, added_clauses - c0)
+        if added_clauses > c0:
+            self._tid_clauses[tid] = self._tid_clauses.get(tid, 0) + (added_clauses - c0)
+        frame[2] = num_vars
+        frame[3] = added_clauses
+
+    def _tracked(self, tid: int, label: str, blast, term: Term):
+        """Run one node's blast, recording its *exclusive* variable
+        ranges and clause emission (nested child blasts record their
+        own — the same resume-mark trick the symbolic profiler uses
+        for exclusive time)."""
         sat = self.sat
-        stack = self._attr_stack
+        stack = self._frames
         if stack:
-            parent = stack[-1]
-            self._charge(parent[0], sat.num_vars - parent[1], sat.added_clauses - parent[2])
-        frame = [label, sat.num_vars, sat.added_clauses]
+            self._record(stack[-1], sat.num_vars, sat.added_clauses)
+        frame = [tid, label, sat.num_vars, sat.added_clauses]
         stack.append(frame)
         try:
             out = blast(term)
         finally:
             stack.pop()
-            self._charge(label, sat.num_vars - frame[1], sat.added_clauses - frame[2])
+            self._record(frame, sat.num_vars, sat.added_clauses)
             if stack:
-                stack[-1][1] = sat.num_vars
-                stack[-1][2] = sat.added_clauses
+                parent = stack[-1]
+                parent[2] = sat.num_vars
+                parent[3] = sat.added_clauses
         return out
 
     # -- boolean terms ---------------------------------------------------------
@@ -465,10 +507,18 @@ class BitBlaster:
 
     # -- model extraction ----------------------------------------------------------
 
-    def extract_model(self) -> dict[str, int | bool]:
-        """Read variable values out of a satisfying assignment."""
+    def extract_model(self, names=None) -> dict[str, int | bool]:
+        """Read variable values out of a satisfying assignment.
+
+        ``names`` restricts the model to those variables; a shared
+        incremental blaster passes the current query's variable set so
+        the model does not leak bindings from unrelated queries (whose
+        bits are unconstrained — possibly unassigned — here).
+        """
         model: dict[str, int | bool] = {}
         for name, bits in self.var_bits.items():
+            if names is not None and name not in names:
+                continue
             if isinstance(bits, int):
                 model[name] = bool(self.sat.value(bits))
             else:

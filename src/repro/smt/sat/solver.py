@@ -523,14 +523,23 @@ class SatSolver:
             if self._assign[v] != 0
         }
 
+    def iter_problem_clauses(self):
+        """Yield the problem (non-learned) clauses as literal lists."""
+        for clause in self._clauses:
+            yield list(clause)
 
-def to_dimacs(solver: "SatSolver") -> str:
+
+def to_dimacs(solver) -> str:
     """Render the problem clauses in DIMACS CNF format.
 
     Lets the CNF be cross-checked with an external SAT solver when one
     is available; learned clauses are excluded (they are implied).
+    Works with any solver implementation exposing
+    ``iter_problem_clauses()`` (both :class:`SatSolver` and the arena
+    solver do).
     """
-    lines = [f"p cnf {solver.num_vars} {len(solver._clauses)}"]
-    for clause in solver._clauses:
+    clauses = list(solver.iter_problem_clauses())
+    lines = [f"p cnf {solver.num_vars} {len(clauses)}"]
+    for clause in clauses:
         lines.append(" ".join(str(lit) for lit in clause) + " 0")
     return "\n".join(lines) + "\n"

@@ -10,6 +10,38 @@ queries are keyed by the canonical (alpha-renamed) digest of their
 term DAG, so re-running a verification — or running an equivalent
 obligation produced by a different harness — replays the verdict and
 counterexample from disk instead of re-solving.
+
+Checks are incremental by default: one long-lived arena solver plus
+bit-blaster pair per process (the :class:`IncrementalSession`) absorbs
+every query.  Tseitin definitions and Ackermann constraints blast once
+per term node and stay loaded; each obligation is discharged under
+assumptions (the query's root literals) with decisions restricted to
+the query's variable *cone*, so learned clauses survive from one
+obligation to the next while verdicts, models, and per-query counters
+stay exactly what a standalone solve would produce.  Why this is sound:
+
+* permanent clauses are only Tseitin gate definitions, Ackermann
+  consistency constraints, and learned clauses (pure resolution
+  consequences of the former two — assumption literals are never
+  resolved away, they surface as literals of the learned clause), so
+  the clause database is satisfiable and semantically equivalent to
+  "definitions + Ackermann" no matter how many queries it absorbed;
+* every variable blasted for a node of the query's DAG is in the cone
+  (the blaster records per-tid variable ranges), so when the cone is
+  fully assigned and propagation is at fixpoint every definition
+  clause of the query is checked — the cone assignment restricted to
+  the query's own variables is a genuine model;
+* any model of the query alone extends to a model of the whole
+  database (other queries' inputs are free; pick uninterpreted
+  function values consistently), so no resolution proof can refute a
+  satisfiable query: UNSAT answers are never an artifact of sharing.
+
+``REPRO_NO_INCREMENTAL=1`` restores a fresh solver per check, and
+``REPRO_SAT_IMPL=legacy`` additionally swaps in the reference SAT
+core (which has no assumption-cone support).  Crash recovery: callers
+that catch a worker-level failure should call
+:func:`reset_incremental_session` so a possibly-inconsistent session
+is rebuilt rather than reused.
 """
 
 from __future__ import annotations
@@ -19,10 +51,11 @@ import os
 import tempfile
 import time
 
-from ..obs import count as obs_count, span as obs_span
+from ..obs import count as obs_count, enabled as _obs_enabled, span as obs_span
 from .bitblast import BitBlaster
 from .model import Model
-from .sat.solver import SAT, SatSolver, UNKNOWN, UNSAT
+from .sat import new_solver
+from .sat.solver import SAT, UNKNOWN, UNSAT
 from .sorts import BOOL
 from .terms import Term, canonicalize_query, mk_bool
 
@@ -31,10 +64,85 @@ __all__ = [
     "CheckResult",
     "SolverCache",
     "SolverTimeout",
+    "IncrementalSession",
+    "get_incremental_session",
+    "reset_incremental_session",
+    "incremental_enabled",
     "SAT",
     "UNSAT",
     "UNKNOWN",
 ]
+
+
+def incremental_enabled() -> bool:
+    """Whether checks share the per-process incremental session.
+
+    ``REPRO_NO_INCREMENTAL=1`` opts out; ``REPRO_SAT_IMPL=legacy``
+    opts out implicitly because the reference solver cannot restrict
+    decisions to a cone.  Read per call so tests can flip the
+    environment without reimporting.
+    """
+    if os.environ.get("REPRO_NO_INCREMENTAL", "") == "1":
+        return False
+    return os.environ.get("REPRO_SAT_IMPL", "").lower() != "legacy"
+
+
+class IncrementalSession:
+    """A long-lived solver + blaster pair shared by all checks in a
+    process (one per scheduler worker, since workers are processes)."""
+
+    def __init__(self) -> None:
+        self.sat = new_solver()
+        self.blaster = BitBlaster(self.sat)
+        self.checks = 0
+
+
+_session: IncrementalSession | None = None
+
+
+def _session_max_vars() -> int:
+    try:
+        return int(os.environ.get("REPRO_INCREMENTAL_MAX_VARS", "500000"))
+    except ValueError:
+        return 500_000
+
+
+def get_incremental_session() -> IncrementalSession:
+    """The process-wide session, created on first use and recycled when
+    it outgrows ``REPRO_INCREMENTAL_MAX_VARS`` solver variables."""
+    global _session
+    if _session is not None and _session.sat.num_vars > _session_max_vars():
+        _session = None
+    if _session is None:
+        _session = IncrementalSession()
+    return _session
+
+
+def reset_incremental_session() -> None:
+    """Drop the process-wide session.
+
+    Call after a crash mid-check (worker resilience handlers do): a
+    half-blasted or interrupted session might hold inconsistent solver
+    state, and rebuilding it only costs re-blasting on the next query.
+    """
+    global _session
+    _session = None
+
+
+def _walk_query(terms: list[Term]) -> tuple[set[int], set[str]]:
+    """Collect every term id in the query DAG plus its variable names."""
+    seen: set[int] = set()
+    names: set[str] = set()
+    stack = list(terms)
+    while stack:
+        t = stack.pop()
+        if t.tid in seen:
+            continue
+        seen.add(t.tid)
+        if t.op == "var":
+            names.add(t.payload)
+        stack.extend(t.args)
+    return seen, names
 
 
 class SolverTimeout(Exception):
@@ -169,11 +277,14 @@ class SolverCache:
 class Solver:
     """Assertion stack plus check-sat.
 
-    Checks are one-shot: each ``check`` builds a fresh CNF.  That
-    matches how the Serval pipeline uses the solver — one verification
-    condition per theorem — and keeps the blaster stateless across
-    pushes.  An optional ``cache`` memoizes verdicts across checks,
-    processes, and runs.
+    By default each ``check`` discharges into the process-wide
+    incremental session (see module docstring): the query's roots
+    become assumption literals over a shared clause arena, so CNF for
+    shared structure is emitted once and learned clauses survive
+    across checks.  ``REPRO_NO_INCREMENTAL=1`` (or
+    ``REPRO_SAT_IMPL=legacy``) restores the one-shot path — a fresh
+    CNF per check.  An optional ``cache`` memoizes verdicts across
+    checks, processes, and runs.
     """
 
     def __init__(
@@ -237,7 +348,21 @@ class Solver:
                 return cached
             obs_count("solver.cache.misses")
 
-        sat = SatSolver()
+        if incremental_enabled():
+            try:
+                return self._check_incremental(terms, digest, var_map, start)
+            except SolverTimeout:
+                raise  # the session is backtracked and still consistent
+            except BaseException:
+                # Anything else may have interrupted the session mid
+                # mutation; rebuild it on the next query.
+                reset_incremental_session()
+                raise
+        return self._check_fresh(terms, digest, var_map, start)
+
+    def _check_fresh(self, terms, digest, var_map, start) -> CheckResult:
+        """One-shot path: fresh solver and blaster for this query."""
+        sat = new_solver()
         blaster = BitBlaster(sat)
         with obs_span("bitblast", cat="bitblast") as bargs:
             for t in terms:
@@ -264,20 +389,12 @@ class Solver:
         if sargs is not None:
             sargs["status"] = status
             sargs.update(sat_stats)
-            for key in (
-                "conflicts",
-                "decisions",
-                "propagations",
-                "restarts",
-                "learned_clauses",
-                "conflict_literals",
-            ):
-                obs_count(f"sat.{key}", sat_stats[key])
+        self._note_sat_counters(sat_stats)
         self.last_stats = {
             "time_s": elapsed,
             "blast_time_s": blast_time,
             "sat_vars": sat.num_vars,
-            "sat_clauses": len(sat._clauses),
+            "sat_clauses": sat.added_clauses,
             "conflicts": sat.conflicts,
             "decisions": sat.decisions,
             "propagations": sat.propagations,
@@ -298,6 +415,112 @@ class Solver:
         if self.cache is not None:
             self.cache.store(digest, var_map, result)
         return result
+
+    def _check_incremental(self, terms, digest, var_map, start) -> CheckResult:
+        """Session path: blast into the shared context, solve the query
+        under assumptions with decisions restricted to its cone."""
+        session = get_incremental_session()
+        sat, blaster = session.sat, session.blaster
+        session.checks += 1
+        obs_count("sat.incremental_hits")
+
+        tids, names = _walk_query(terms)
+        prior_tids = [
+            tid for tid in tids if tid in blaster._bool_cache or tid in blaster._bv_cache
+        ]
+        emit_before = (
+            {label: tuple(cell) for label, cell in blaster.emitted.items()}
+            if _obs_enabled()
+            else None
+        )
+        vars_before = sat.num_vars
+        clauses_before = sat.added_clauses
+        with obs_span("bitblast", cat="bitblast") as bargs:
+            # Roots become assumptions, not unit clauses: nothing this
+            # query asserts outlives it in the shared clause database.
+            roots = [blaster.bool_lit(t) for t in terms]
+        blast_time = time.perf_counter() - start
+        new_vars = sat.num_vars - vars_before
+        new_clauses = sat.added_clauses - clauses_before
+        reused_clauses = blaster.clauses_for(prior_tids)
+        obs_count("sat.reused_clauses", reused_clauses)
+        if bargs is not None:
+            bargs.update(vars=new_vars, clauses=new_clauses, reused_clauses=reused_clauses)
+            obs_count("bitblast.queries")
+            obs_count("bitblast.vars", new_vars)
+            obs_count("bitblast.clauses", new_clauses)
+            for label, (aux_vars, clauses) in sorted(blaster.emitted.items()):
+                prev = emit_before.get(label, (0, 0)) if emit_before else (0, 0)
+                d_vars, d_clauses = aux_vars - prev[0], clauses - prev[1]
+                if d_vars or d_clauses:
+                    obs_count(f"bitblast.aux_vars.{label}", d_vars)
+                    obs_count(f"bitblast.clauses.{label}", d_clauses)
+
+        cone = blaster.cone_vars(tids)
+        sat_budget_s = None
+        if self.timeout_s is not None:
+            sat_budget_s = max(self.timeout_s - blast_time, 0.0)
+        with obs_span("sat.solve", cat="sat") as sargs:
+            status = sat.solve_with(
+                roots,
+                max_conflicts=self.max_conflicts,
+                timeout_s=sat_budget_s,
+                relevant=cone,
+            )
+        elapsed = time.perf_counter() - start
+        sat_stats = sat.stats()
+        if sargs is not None:
+            sargs["status"] = status
+            sargs.update(sat_stats)
+            sargs["cone_vars"] = len(cone)
+        self._note_sat_counters(sat_stats)
+        self.last_stats = {
+            "time_s": elapsed,
+            "blast_time_s": blast_time,
+            "incremental": True,
+            "sat_vars": sat.num_vars,
+            "sat_clauses": sat.added_clauses,
+            "blasted_vars": new_vars,
+            "blasted_clauses": new_clauses,
+            "reused_clauses": reused_clauses,
+            "cone_vars": len(cone),
+            "conflicts": sat.conflicts,
+            "decisions": sat.decisions,
+            "propagations": sat.propagations,
+            "restarts": sat.restarts,
+            "learned_clauses": sat.learned_clauses,
+            "conflict_literals": sat.conflict_literals,
+            "max_decision_level": sat.max_decision_level,
+        }
+        if sat.timed_out or (self.timeout_s is not None and elapsed > self.timeout_s):
+            self.last_stats["timed_out"] = True
+            raise SolverTimeout(f"check exceeded {self.timeout_s}s (took {elapsed:.2f}s)")
+        if status == SAT:
+            result = CheckResult(
+                SAT, Model(blaster.extract_model(names)), stats=self.last_stats
+            )
+        elif status == UNSAT:
+            result = CheckResult(UNSAT, stats=self.last_stats)
+        else:
+            result = CheckResult(UNKNOWN, stats=self.last_stats)
+        # Between-query housekeeping: trim the learned DB outside the
+        # solve so per-query counters never depend on session history.
+        sat.maintain()
+        if self.cache is not None:
+            self.cache.store(digest, var_map, result)
+        return result
+
+    @staticmethod
+    def _note_sat_counters(sat_stats: dict) -> None:
+        for key in (
+            "conflicts",
+            "decisions",
+            "propagations",
+            "restarts",
+            "learned_clauses",
+            "conflict_literals",
+        ):
+            obs_count(f"sat.{key}", sat_stats[key])
 
 
 def check_sat(*terms: Term, max_conflicts: int | None = None) -> CheckResult:

@@ -1,0 +1,201 @@
+"""Incremental solving: per-worker sessions, learned-clause reuse,
+crash recovery, determinism, and cache-key hygiene.
+
+These pin the contracts the incremental rebuild must not bend:
+verdicts and the first failing obligation match the sequential
+baseline, sessions recover from crashes, and the verdict cache never
+confuses queries that differ only in their assumption sets.
+"""
+
+import random
+
+import pytest
+
+from repro.core.runner import Obligation, reduce_results, run_obligations
+from repro.core.scheduler import ObligationScheduler
+from repro.smt.sat import SAT, ArenaSolver, UNSAT
+from repro.smt.solver import (
+    Solver,
+    SolverCache,
+    get_incremental_session,
+    incremental_enabled,
+    reset_incremental_session,
+)
+from repro.smt.terms import fresh_var, mk_bv, mk_bvadd, mk_bvand, mk_bvmul, mk_bvxor, mk_eq, mk_ule, mk_var
+from repro.smt.sorts import bv_sort
+
+
+@pytest.fixture(autouse=True)
+def _fresh_session():
+    """Each test starts (and leaves) a clean incremental session."""
+    reset_incremental_session()
+    yield
+    reset_incremental_session()
+
+
+class TestLearnedRetention:
+    def test_learned_clauses_survive_assumption_solves(self):
+        """A conflict-heavy instance solved under assumptions leaves
+        its learned clauses in the database for the next solve."""
+        s = ArenaSolver()
+        n, m = 6, 5  # pigeonhole: UNSAT, needs real search
+        p = {(i, j): s.new_var() for i in range(n) for j in range(m)}
+        for i in range(n):
+            s.add_clause([p[(i, j)] for j in range(m)])
+        for j in range(m):
+            for i1 in range(n):
+                for i2 in range(i1 + 1, n):
+                    s.add_clause([-p[(i1, j)], -p[(i2, j)]])
+        gate = s.new_var()  # free selector so the formula stays assumption-relative
+        assert s.solve_with([gate]) == UNSAT
+        kept = s.stats()["learned_kept"]
+        assert kept > 0
+        first_conflicts = s.conflicts
+        # Re-solving under the flipped selector reuses the learned DB:
+        # still UNSAT (the pigeonhole core is selector-independent) and
+        # the retained clauses are still there.
+        assert s.solve_with([-gate]) == UNSAT
+        assert s.stats()["learned_kept"] >= 1
+        assert s.conflicts <= first_conflicts
+
+    def test_session_reuses_clauses_across_checks(self):
+        x = mk_var("x", bv_sort(16))
+        y = mk_var("y", bv_sort(16))
+        shared = mk_eq(mk_bvmul(x, y), mk_bv(391, 16))
+        s1 = Solver()
+        r1 = s1.check(shared, mk_ule(x, mk_bv(100, 16)))
+        assert r1.status == SAT
+        assert s1.last_stats["incremental"]
+        assert s1.last_stats["reused_clauses"] == 0
+        s2 = Solver()
+        r2 = s2.check(shared, mk_ule(y, mk_bv(100, 16)))
+        assert r2.status == SAT
+        # The multiplier circuit blasted for the first check is reused.
+        assert s2.last_stats["reused_clauses"] > 0
+        assert s2.last_stats["blasted_clauses"] < s1.last_stats["blasted_clauses"]
+
+
+class TestSessionLifecycle:
+    def test_session_persists_across_solver_objects(self):
+        a = get_incremental_session()
+        Solver().check(mk_eq(mk_var("p", bv_sort(4)), mk_bv(3, 4)))
+        assert get_incremental_session() is a
+        assert a.checks == 1
+
+    def test_reset_on_crash(self, monkeypatch):
+        """A check that blows up mid-blast drops the session; the next
+        check starts from a fresh, consistent one."""
+        before = get_incremental_session()
+        from repro.smt import bitblast
+
+        def boom(self, term):
+            raise RuntimeError("injected blast failure")
+
+        monkeypatch.setattr(bitblast.BitBlaster, "bool_lit", boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            Solver().check(mk_eq(mk_var("q", bv_sort(4)), mk_bv(1, 4)))
+        monkeypatch.undo()
+        after = get_incremental_session()
+        assert after is not before
+        r = Solver().check(mk_eq(mk_var("q", bv_sort(4)), mk_bv(1, 4)))
+        assert r.status == SAT
+
+    def test_session_recycled_past_var_cap(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL_MAX_VARS", "8")
+        first = get_incremental_session()
+        Solver().check(mk_eq(mk_var("r", bv_sort(16)), mk_bv(77, 16)))
+        assert first.sat.num_vars > 8
+        assert get_incremental_session() is not first
+
+    def test_escape_hatch_disables_incremental(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_INCREMENTAL", "1")
+        assert not incremental_enabled()
+        s = Solver()
+        r = s.check(mk_eq(mk_var("s", bv_sort(8)), mk_bv(9, 8)))
+        assert r.status == SAT
+        assert "incremental" not in s.last_stats
+        sess = get_incremental_session()
+        assert sess.checks == 0  # untouched
+
+    def test_legacy_impl_disables_incremental(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SAT_IMPL", "legacy")
+        assert not incremental_enabled()
+
+
+class TestDeterminismIncremental:
+    def test_verdicts_and_first_failure_stable_across_steal_seeds(self):
+        """With incremental solving ON (the default), ten different
+        work-stealing interleavings still reproduce the sequential
+        verdicts in order, including the same first failure."""
+        assert incremental_enabled()
+        obligations = []
+        for i in range(8):
+            x = fresh_var("x", bv_sort(8))
+            y = fresh_var("y", bv_sort(8))
+            if i in (2, 5):
+                goal = mk_eq(x, mk_bv(5, 8))  # not valid
+            else:
+                goal = mk_eq(
+                    mk_bvxor(mk_bvxor(x, y), y),
+                    mk_bvand(x, mk_bv(0xFF, 8)),
+                )
+            obligations.append(Obligation.from_terms(f"inc{i}", [goal]))
+
+        seq_results, _ = run_obligations(obligations, jobs=1)
+        seq_verdicts = [r.status for r in seq_results]
+        assert seq_verdicts.count("failed") == 2
+        seq_first = reduce_results(seq_results)
+        assert seq_first is not None and seq_first.name == "inc2"
+
+        for seed in range(10):
+            sched = ObligationScheduler(workers=2, steal_seed=seed)
+            try:
+                results, _ = sched.run(obligations, jobs_hint=2)
+            finally:
+                sched.shutdown()
+            assert [r.status for r in results] == seq_verdicts, f"seed {seed}"
+            first = reduce_results(results)
+            assert first is not None and first.name == "inc2", f"seed {seed}"
+
+    def test_incremental_matches_fresh_on_random_queries(self, monkeypatch):
+        """Property check: every query answers identically with and
+        without the shared session."""
+        rng = random.Random(4242)
+        queries = []
+        for i in range(20):
+            x = mk_var(f"rx{i % 5}", bv_sort(8))
+            y = mk_var(f"ry{i % 3}", bv_sort(8))
+            k = mk_bv(rng.randrange(256), 8)
+            op = rng.choice([mk_bvadd, mk_bvmul, mk_bvxor, mk_bvand])
+            queries.append(mk_eq(op(x, y), k))
+        incr = [Solver().check(q).status for q in queries]
+        monkeypatch.setenv("REPRO_NO_INCREMENTAL", "1")
+        fresh = [Solver().check(q).status for q in queries]
+        assert incr == fresh
+
+
+class TestCacheKeys:
+    def test_assumption_sets_distinguish_queries(self, tmp_path):
+        """Two checks with the same goal but different assumption sets
+        must not share a cache entry."""
+        cache = SolverCache(str(tmp_path))
+        x = mk_var("x", bv_sort(8))
+        goal = mk_eq(x, mk_bv(1, 8))
+
+        s1 = Solver(cache=cache)
+        s1.add(mk_eq(x, mk_bv(1, 8)))
+        r1 = s1.check(goal)
+        assert r1.status == SAT
+
+        s2 = Solver(cache=cache)
+        s2.add(mk_eq(x, mk_bv(2, 8)))
+        r2 = s2.check(goal)
+        assert r2.status == UNSAT  # a key collision would replay SAT
+        assert cache.misses == 2 and cache.hits == 0
+
+        # Identical query (goal + assumptions) does hit.
+        s3 = Solver(cache=cache)
+        s3.add(mk_eq(x, mk_bv(1, 8)))
+        r3 = s3.check(goal)
+        assert r3.status == SAT
+        assert cache.hits == 1

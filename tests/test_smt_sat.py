@@ -1,12 +1,25 @@
-"""Unit and property tests for the CDCL SAT core."""
+"""Unit and property tests for the CDCL SAT core.
+
+Every test runs against both implementations — the reference
+``SatSolver`` and the flat-arena ``ArenaSolver`` — via the
+``solver_cls`` fixture, keeping the two semantically interchangeable.
+"""
 
 import itertools
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.smt.sat import SAT, SatSolver, UNSAT, luby
+from repro.smt.sat import SAT, ArenaSolver, SatSolver, UNSAT, luby
+
+IMPLS = [SatSolver, ArenaSolver]
+
+
+@pytest.fixture(params=IMPLS, ids=["legacy", "arena"])
+def solver_cls(request):
+    return request.param
 
 
 def brute_force(num_vars: int, clauses: list[list[int]]) -> bool:
@@ -21,14 +34,14 @@ def brute_force(num_vars: int, clauses: list[list[int]]) -> bool:
     return False
 
 
-def check_model(solver: SatSolver, clauses: list[list[int]]) -> None:
+def check_model(solver, clauses: list[list[int]]) -> None:
     for clause in clauses:
         assert any(solver.value(l) for l in clause), f"clause {clause} falsified"
 
 
 class TestBasics:
-    def test_unit_propagation(self):
-        s = SatSolver()
+    def test_unit_propagation(self, solver_cls):
+        s = solver_cls()
         a, b, c = s.new_var(), s.new_var(), s.new_var()
         s.add_clause([a, b])
         s.add_clause([-a, c])
@@ -38,35 +51,35 @@ class TestBasics:
         assert s.value(a) is False
         assert s.value(b) is True
 
-    def test_empty_clause_unsat(self):
-        s = SatSolver()
+    def test_empty_clause_unsat(self, solver_cls):
+        s = solver_cls()
         a = s.new_var()
         s.add_clause([a])
         assert not s.add_clause([-a])
         assert s.solve() == UNSAT
 
-    def test_trivial_sat(self):
-        s = SatSolver()
+    def test_trivial_sat(self, solver_cls):
+        s = solver_cls()
         s.new_var()
         assert s.solve() == SAT
 
-    def test_tautology_dropped(self):
-        s = SatSolver()
+    def test_tautology_dropped(self, solver_cls):
+        s = solver_cls()
         a = s.new_var()
         s.add_clause([a, -a])
         assert s.solve() == SAT
 
-    def test_duplicate_literals(self):
-        s = SatSolver()
+    def test_duplicate_literals(self, solver_cls):
+        s = solver_cls()
         a, b = s.new_var(), s.new_var()
         s.add_clause([a, a, b])
         s.add_clause([-a])
         assert s.solve() == SAT
         assert s.value(b) is True
 
-    def test_pigeonhole_3_2_unsat(self):
+    def test_pigeonhole_3_2_unsat(self, solver_cls):
         # 3 pigeons, 2 holes: classic small UNSAT instance needing search.
-        s = SatSolver()
+        s = solver_cls()
         p = {(i, j): s.new_var() for i in range(3) for j in range(2)}
         for i in range(3):
             s.add_clause([p[(i, 0)], p[(i, 1)]])
@@ -76,8 +89,8 @@ class TestBasics:
                     s.add_clause([-p[(i1, j)], -p[(i2, j)]])
         assert s.solve() == UNSAT
 
-    def test_pigeonhole_5_4_unsat(self):
-        s = SatSolver()
+    def test_pigeonhole_5_4_unsat(self, solver_cls):
+        s = solver_cls()
         n, m = 5, 4
         p = {(i, j): s.new_var() for i in range(n) for j in range(m)}
         for i in range(n):
@@ -88,10 +101,10 @@ class TestBasics:
                     s.add_clause([-p[(i1, j)], -p[(i2, j)]])
         assert s.solve() == UNSAT
 
-    def test_xor_chain_sat(self):
+    def test_xor_chain_sat(self, solver_cls):
         # x1 ^ x2 ^ ... chain encoded with clauses; forces propagation
         # through learned structure.
-        s = SatSolver()
+        s = solver_cls()
         n = 12
         xs = [s.new_var() for _ in range(n)]
         clauses = []
@@ -108,8 +121,8 @@ class TestBasics:
 
 
 class TestAssumptions:
-    def test_assumptions_flip(self):
-        s = SatSolver()
+    def test_assumptions_flip(self, solver_cls):
+        s = solver_cls()
         a, b = s.new_var(), s.new_var()
         s.add_clause([a, b])
         assert s.solve_with([-a]) == SAT
@@ -120,8 +133,8 @@ class TestAssumptions:
         # Solver remains usable after an assumption-UNSAT answer.
         assert s.solve() == SAT
 
-    def test_conflicting_assumption_with_unit(self):
-        s = SatSolver()
+    def test_conflicting_assumption_with_unit(self, solver_cls):
+        s = solver_cls()
         a = s.new_var()
         s.add_clause([a])
         assert s.solve_with([-a]) == UNSAT
@@ -133,12 +146,13 @@ class TestLuby:
         assert [luby(i) for i in range(15)] == [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
 
 
+@pytest.mark.parametrize("impl", IMPLS, ids=["legacy", "arena"])
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
     num_vars=st.integers(min_value=1, max_value=8),
 )
 @settings(max_examples=80, deadline=None)
-def test_random_3sat_matches_brute_force(seed, num_vars):
+def test_random_3sat_matches_brute_force(impl, seed, num_vars):
     rng = random.Random(seed)
     num_clauses = rng.randint(1, 4 * num_vars)
     clauses = []
@@ -147,7 +161,7 @@ def test_random_3sat_matches_brute_force(seed, num_vars):
         lits = rng.sample(range(1, num_vars + 1), min(width, num_vars))
         clauses.append([v if rng.random() < 0.5 else -v for v in lits])
     expected = brute_force(num_vars, clauses)
-    s = SatSolver()
+    s = impl()
     s.ensure_vars(num_vars)
     ok = True
     for c in clauses:
@@ -158,9 +172,32 @@ def test_random_3sat_matches_brute_force(seed, num_vars):
         check_model(s, clauses)
 
 
-def test_large_random_instance_completes():
+def test_implementations_agree_on_random_instances():
+    # Direct cross-check: both cores must agree clause-for-clause,
+    # including through assumption solves on the same instance.
+    rng = random.Random(99)
+    for _ in range(25):
+        n = rng.randint(4, 20)
+        clauses = []
+        for _ in range(rng.randint(n, 4 * n)):
+            lits = rng.sample(range(1, n + 1), min(3, n))
+            clauses.append([v if rng.random() < 0.5 else -v for v in lits])
+        verdicts = []
+        for impl in IMPLS:
+            s = impl()
+            s.ensure_vars(n)
+            ok = True
+            for c in clauses:
+                ok = s.add_clause(list(c)) and ok
+            base = s.solve() if ok else UNSAT
+            assumed = s.solve_with([1, -2]) if ok else UNSAT
+            verdicts.append((base, assumed))
+        assert verdicts[0] == verdicts[1], clauses
+
+
+def test_large_random_instance_completes(solver_cls):
     rng = random.Random(7)
-    s = SatSolver()
+    s = solver_cls()
     n = 120
     s.ensure_vars(n)
     for _ in range(int(3.5 * n)):
@@ -169,10 +206,10 @@ def test_large_random_instance_completes():
     assert s.solve() in (SAT, UNSAT)
 
 
-def test_dimacs_export():
+def test_dimacs_export(solver_cls):
     from repro.smt.sat import to_dimacs
 
-    s = SatSolver()
+    s = solver_cls()
     a, b = s.new_var(), s.new_var()
     s.add_clause([a, b])
     s.add_clause([-a, b])
