@@ -3,9 +3,11 @@
 
 Usage: check_bench.py CURRENT.json BASELINE.json
            [--max-wall-regression 0.25] [--max-prop-growth 0.10]
+       check_bench.py --serve BENCH_serve.json BENCH_serve_baseline.json
+           [--max-throughput-drop 0.25] [--min-speedup 2.0]
 
-Fails (nonzero exit) when the current quick-grid artifact regresses
-past the committed ``BENCH_baseline.json``:
+Default mode fails (nonzero exit) when the current quick-grid artifact
+regresses past the committed ``BENCH_baseline.json``:
 
   * wall time more than ``--max-wall-regression`` (default 25%) above
     the baseline's — generous enough to absorb CI machine variance,
@@ -17,6 +19,15 @@ past the committed ``BENCH_baseline.json``:
 Both artifacts must carry an ``obs.counters`` section (run the
 benchmark with ``--trace``); a missing section is a hard failure so a
 silently untraced run can never pass the gate.
+
+``--serve`` mode gates the daemon load artifact written by
+``scripts/load_serve.py``:
+
+  * warm-phase obligations/sec must not drop more than
+    ``--max-throughput-drop`` (default 25%) below the committed
+    ``BENCH_serve_baseline.json``;
+  * the warm/cold speedup must stay above ``--min-speedup`` (default
+    2.0) — the shared-cache contract, machine-independent.
 """
 
 import argparse
@@ -33,16 +44,68 @@ def _load(path: str) -> dict:
         raise SystemExit(2)
 
 
+def check_serve(current: dict, baseline: dict, args) -> int:
+    """Gate the daemon load artifact (see module docstring)."""
+    failures = []
+    for name, doc in (("current", current), ("baseline", baseline)):
+        for phase in ("cold", "warm"):
+            if not isinstance(doc.get(phase), dict) or "obligations_per_s" not in doc[phase]:
+                print(
+                    f"FAIL: {name} artifact has no {phase}.obligations_per_s — "
+                    "generate it with scripts/load_serve.py",
+                    file=sys.stderr,
+                )
+                return 3
+
+    cur_tput = current["warm"]["obligations_per_s"]
+    base_tput = baseline["warm"]["obligations_per_s"]
+    floor = base_tput * (1.0 - args.max_throughput_drop)
+    print(
+        f"warm obligations/sec: {cur_tput:.1f} vs baseline {base_tput:.1f} "
+        f"(floor {floor:.1f})"
+    )
+    if base_tput and cur_tput < floor:
+        failures.append(
+            f"warm obligations/sec dropped: {cur_tput:.1f} < {floor:.1f} "
+            f"(baseline {base_tput:.1f} - {args.max_throughput_drop:.0%})"
+        )
+
+    speedup = current.get("speedup", 0.0)
+    print(f"warm/cold speedup: {speedup:.2f}x (need >= {args.min_speedup:.2f}x)")
+    if speedup < args.min_speedup:
+        failures.append(
+            f"warm/cold speedup {speedup:.2f}x below {args.min_speedup:.2f}x — "
+            "concurrent clients are not sharing the verdict cache"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("serve perf gate holds")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_fig11.json from this run")
     parser.add_argument("baseline", help="committed BENCH_baseline.json")
     parser.add_argument("--max-wall-regression", type=float, default=0.25)
     parser.add_argument("--max-prop-growth", type=float, default=0.10)
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="gate a BENCH_serve.json load artifact instead of the grid benchmark",
+    )
+    parser.add_argument("--max-throughput-drop", type=float, default=0.25)
+    parser.add_argument("--min-speedup", type=float, default=2.0)
     args = parser.parse_args()
 
     current = _load(args.current)
     baseline = _load(args.baseline)
+
+    if args.serve:
+        return check_serve(current, baseline, args)
 
     failures = []
     for name, path, doc in (

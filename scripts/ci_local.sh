@@ -80,6 +80,16 @@ run_job grid-warm python benchmarks/bench_fig11_verify.py \
 run_job grid-assert python scripts/compare_runner_runs.py \
     "$tmp/cold.json" "$tmp/warm.json" --allow-slower
 
+# -- serve-load ------------------------------------------------------
+# Boots the repro.serve daemon on a fresh store, drives 8 concurrent
+# clients through the quick grid (cold then warm), checks verdict maps
+# against the sequential run, and gates warm throughput + the >= 2x
+# shared-cache speedup against the committed baseline.
+run_job serve-load python scripts/load_serve.py \
+    --clients 8 --out "$tmp/BENCH_serve.json"
+run_job serve-perf-gate python scripts/check_bench.py --serve \
+    "$tmp/BENCH_serve.json" BENCH_serve_baseline.json
+
 echo
 if [ "$failures" -gt 0 ]; then
     echo "ci_local: $failures job(s) failed"

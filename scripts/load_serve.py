@@ -1,0 +1,296 @@
+#!/usr/bin/env python3
+"""Load/soak driver for the verification daemon (``repro.serve``).
+
+Boots a daemon on a fresh store (or targets ``--url``), then drives it
+through two phases and writes the ``BENCH_serve.json`` artifact CI
+gates on:
+
+  * **cold** — one client submits one grid job against the empty
+    store: the baseline cost of actually proving everything;
+  * **warm** — ``--clients`` concurrent clients (CI uses 8) each
+    submit ``--rounds`` grid jobs: every job re-verifies the same
+    grid, so the shared content-addressed store should answer almost
+    every solver query.
+
+Checks, all hard failures:
+
+  * every job (cold, warm, and the in-process sequential reference)
+    reports the *identical* verdict map — the daemon's determinism
+    contract;
+  * every job finishes ``done``;
+  * warm obligations/sec must beat cold by ``--require-speedup``
+    (default 2.0; the shared-cache contract.  0 disables).
+
+Artifact shape::
+
+    {"clients": 8, "rounds": 2, "grid": "fig11-quick", "opt": 1,
+     "cold": {"wall_s": ..., "obligations": ..., "obligations_per_s": ...},
+     "warm": {"wall_s": ..., "obligations": ..., "obligations_per_s": ...,
+              "jobs": 16, "p50_ms": ..., "p99_ms": ...,
+              "cache_queries": ..., "cache_hits": ...},
+     "speedup": ..., "verdicts": {"certikos.get_quota": true, ...}}
+
+``scripts/check_bench.py --serve`` compares the artifact against the
+committed ``BENCH_serve_baseline.json`` (warm throughput must not drop
+more than 25%).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class DaemonProcess:
+    """A ``python -m repro.serve`` child on an ephemeral port."""
+
+    def __init__(self, store_dir: str):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+        )
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--port", "0", "--store", store_dir],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        self.url = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            line = self.process.stdout.readline()
+            if not line:
+                break
+            if line.startswith("serving on "):
+                self.url = line.split("serving on ", 1)[1].strip()
+                break
+        if self.url is None:
+            self.stop()
+            raise RuntimeError("daemon did not announce its address within 60s")
+        # Drain further output so the child never blocks on a full pipe.
+        threading.Thread(
+            target=lambda: [None for _ in self.process.stdout], daemon=True
+        ).start()
+
+    def stop(self):
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait()
+
+
+def _drive_job(client, grid, opt, timeout_s):
+    """Submit one grid job and wait it out; returns (latency_s, final)."""
+    start = time.perf_counter()
+    job = client.submit_grid(grid, opt=opt)
+    final = client.wait(job["id"], timeout_s=timeout_s)
+    return time.perf_counter() - start, final
+
+
+def _phase_summary(wall_s, finals, latencies):
+    obligations = sum(f["stats"].get("obligations", 0) for f in finals)
+    return {
+        "wall_s": wall_s,
+        "jobs": len(finals),
+        "obligations": obligations,
+        "obligations_per_s": obligations / wall_s if wall_s > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1000.0,
+        "p99_ms": _percentile(latencies, 0.99) * 1000.0,
+        "cache_queries": sum(f["stats"].get("cache_queries", 0) for f in finals),
+        "cache_hits": sum(f["stats"].get("cache_hits", 0) for f in finals),
+    }
+
+
+def _sequential_reference(grid, opt):
+    """The grid's verdict map from a plain in-process sequential run
+    (jobs=1, no cache) — the baseline the daemon must reproduce."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.serve.grids import run_grid
+
+    verdicts, _ = run_grid(grid, opt=opt, jobs=1, cache_dir=None)
+    return verdicts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8, help="concurrent clients (default 8)")
+    parser.add_argument("--rounds", type=int, default=2, help="grid jobs per client in the warm phase")
+    parser.add_argument("--grid", default="fig11-quick")
+    parser.add_argument("--opt", type=int, default=1, choices=[0, 1, 2])
+    parser.add_argument("--url", default=None, help="target a running daemon instead of booting one")
+    parser.add_argument("--store", default=None, help="store dir for the booted daemon (default: fresh tmpdir)")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--job-timeout", type=float, default=300.0)
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=2.0,
+        help="fail unless warm obligations/sec >= this multiple of cold (0 disables)",
+    )
+    parser.add_argument(
+        "--skip-sequential",
+        action="store_true",
+        help="skip the in-process sequential verdict reference (faster)",
+    )
+    args = parser.parse_args()
+
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.serve.client import ServeClient
+
+    daemon = None
+    tmp = None
+    if args.url is None:
+        store = args.store
+        if store is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-serve-load-")
+            store = os.path.join(tmp.name, "store")
+        print(f"booting daemon (store: {store}) ...")
+        daemon = DaemonProcess(store)
+        url = daemon.url
+    else:
+        url = args.url
+    print(f"daemon: {url}")
+
+    failures = []
+    try:
+        client = ServeClient(url, timeout_s=args.job_timeout)
+        health = client.healthz()
+        print(f"healthz: ok={health['ok']} jobs={health['jobs']}")
+
+        # -- cold phase --------------------------------------------------
+        start = time.perf_counter()
+        latency, final = _drive_job(client, args.grid, args.opt, args.job_timeout)
+        cold_wall = time.perf_counter() - start
+        cold = _phase_summary(cold_wall, [final], [latency])
+        verdict_maps = {"cold[0]": client.verdict_map(final["id"])}
+        states = {"cold[0]": final["state"]}
+        print(
+            f"cold: {cold['obligations']} obligations in {cold_wall:.2f}s "
+            f"({cold['obligations_per_s']:.1f} ob/s)"
+        )
+
+        # -- warm phase: N concurrent clients ----------------------------
+        warm_finals = []
+        warm_latencies = []
+        lock = threading.Lock()
+        errors = []
+
+        def one_client(cid):
+            worker = ServeClient(url, timeout_s=args.job_timeout)
+            for round_no in range(args.rounds):
+                try:
+                    latency, final = _drive_job(worker, args.grid, args.opt, args.job_timeout)
+                except Exception as exc:
+                    with lock:
+                        errors.append(f"client {cid} round {round_no}: {exc}")
+                    return
+                with lock:
+                    warm_finals.append(final)
+                    warm_latencies.append(latency)
+                    verdict_maps[f"warm[{cid}.{round_no}]"] = {
+                        r["name"]: r["proved"]
+                        for r in sorted(
+                            worker.verdicts(final["id"])["verdicts"],
+                            key=lambda r: r["index"],
+                        )
+                    }
+                    states[f"warm[{cid}.{round_no}]"] = final["state"]
+
+        start = time.perf_counter()
+        threads = [
+            threading.Thread(target=one_client, args=(cid,)) for cid in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        warm_wall = time.perf_counter() - start
+        failures.extend(errors)
+        warm = _phase_summary(warm_wall, warm_finals, warm_latencies)
+        print(
+            f"warm: {warm['jobs']} jobs, {warm['obligations']} obligations in "
+            f"{warm_wall:.2f}s ({warm['obligations_per_s']:.1f} ob/s, "
+            f"p50 {warm['p50_ms']:.0f}ms, p99 {warm['p99_ms']:.0f}ms, "
+            f"cache {warm['cache_hits']}/{warm['cache_queries']})"
+        )
+
+        # -- checks ------------------------------------------------------
+        for label, state in states.items():
+            if state != "done":
+                failures.append(f"job {label} finished {state}, expected done")
+        reference = verdict_maps["cold[0]"]
+        if not args.skip_sequential:
+            print("sequential reference (in-process, jobs=1, no cache) ...")
+            verdict_maps["sequential"] = _sequential_reference(args.grid, args.opt)
+        for label, verdicts in verdict_maps.items():
+            if verdicts != reference:
+                failures.append(
+                    f"verdict divergence in {label}: {verdicts} != {reference}"
+                )
+
+        speedup = (
+            warm["obligations_per_s"] / cold["obligations_per_s"]
+            if cold["obligations_per_s"]
+            else 0.0
+        )
+        print(f"warm/cold throughput: {speedup:.2f}x")
+        if args.require_speedup and speedup < args.require_speedup:
+            failures.append(
+                f"warm obligations/sec only {speedup:.2f}x cold "
+                f"(need >= {args.require_speedup:.2f}x): the shared cache is not working"
+            )
+
+        artifact = {
+            "clients": args.clients,
+            "rounds": args.rounds,
+            "grid": args.grid,
+            "opt": args.opt,
+            "cold": cold,
+            "warm": warm,
+            "speedup": speedup,
+            "verdicts": reference,
+        }
+        try:
+            artifact["metrics"] = {
+                key: client.metrics().get(key) for key in ("jobs", "scheduler", "store")
+            }
+        except Exception as exc:
+            failures.append(f"metrics endpoint failed: {exc}")
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"wrote {os.path.abspath(args.out)}")
+    finally:
+        if daemon is not None:
+            daemon.stop()
+        if tmp is not None:
+            tmp.cleanup()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("load_serve: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

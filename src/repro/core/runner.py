@@ -105,6 +105,49 @@ class Obligation:
         roots = goals + list(assumptions)
         return cls(name, serialize_terms(roots), len(goals), dict(info))
 
+    def to_json(self) -> dict:
+        """Wire format for shipping an obligation to a remote runner
+        (``repro.serve`` batch jobs).  Everything inside is already
+        JSON-safe: the payload is ``serialize_terms`` output."""
+        return {
+            "name": self.name,
+            "num_goals": self.num_goals,
+            "payload": self.payload,
+            "info": self.info,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Obligation":
+        """Rebuild an obligation from :meth:`to_json` output.
+
+        Validates shape only (types and payload structure) — the term
+        DAG itself is checked when a worker deserializes it, so a
+        malformed batch degrades to per-obligation ``unknown`` verdicts
+        instead of taking the daemon down.  Raises ``ValueError`` on a
+        document that is not an obligation at all.
+        """
+        if not isinstance(doc, dict):
+            raise ValueError("obligation must be a JSON object")
+        name = doc.get("name")
+        num_goals = doc.get("num_goals")
+        payload = doc.get("payload")
+        if not isinstance(name, str) or not name:
+            raise ValueError("obligation.name must be a non-empty string")
+        if not isinstance(num_goals, int) or isinstance(num_goals, bool) or num_goals < 1:
+            raise ValueError("obligation.num_goals must be a positive integer")
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get("nodes"), list)
+            or not isinstance(payload.get("roots"), list)
+        ):
+            raise ValueError("obligation.payload must carry serialized terms (nodes/roots)")
+        if num_goals > len(payload["roots"]):
+            raise ValueError("obligation.num_goals exceeds the payload's root count")
+        info = doc.get("info", {})
+        if not isinstance(info, dict):
+            raise ValueError("obligation.info must be an object")
+        return cls(name, payload, num_goals, dict(info))
+
 
 @dataclass
 class ObligationResult:
@@ -118,6 +161,37 @@ class ObligationResult:
     @property
     def proved(self) -> bool:
         return self.status == PROVED
+
+    def to_json(self) -> dict:
+        """Wire format for a verdict (``repro.serve`` streams these).
+
+        ``stats`` is filtered to JSON scalars so obs envelopes and other
+        process-local baggage never leak onto the wire.
+        """
+        stats = {
+            key: value
+            for key, value in self.stats.items()
+            if isinstance(value, (int, float, str, bool)) or value is None
+        }
+        doc: dict = {"name": self.name, "status": self.status, "stats": stats}
+        if self.model_values is not None:
+            doc["model"] = dict(self.model_values)
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ObligationResult":
+        if not isinstance(doc, dict) or not isinstance(doc.get("name"), str):
+            raise ValueError("obligation result must be an object with a name")
+        status = doc.get("status")
+        if status not in (PROVED, FAILED, UNKNOWN):
+            raise ValueError(f"obligation result has unknown status {status!r}")
+        model = doc.get("model")
+        if model is not None and not isinstance(model, dict):
+            raise ValueError("obligation result model must be an object")
+        stats = doc.get("stats", {})
+        if not isinstance(stats, dict):
+            raise ValueError("obligation result stats must be an object")
+        return cls(doc["name"], status, model_values=model, stats=dict(stats))
 
     def __repr__(self) -> str:
         return f"ObligationResult({self.name}: {self.status})"

@@ -60,6 +60,7 @@ __all__ = [
     "ObligationScheduler",
     "SchedulerStats",
     "get_scheduler",
+    "peek_scheduler",
     "shutdown_scheduler",
 ]
 
@@ -144,13 +145,31 @@ class _Ticket:
     outbox; ``obs`` holds those ``(wid, snapshot)`` envelopes and
     ``timeline`` the queued/start/end record per task, both indexed by
     submission order.
+
+    ``job`` is an opaque caller tag (the serving layer uses its job id)
+    so concurrent submissions can be told apart in telemetry, and
+    ``on_result`` — when set — is invoked as ``on_result(index, result)``
+    each time a task finalizes.  The callback runs on the dispatcher
+    thread while the scheduler lock is held: it must be fast and must
+    never call back into the scheduler (stash the result and notify a
+    condition instead).
     """
 
-    def __init__(self, count: int, trace: bool = False):
+    def __init__(
+        self,
+        count: int,
+        trace: bool = False,
+        job: str | None = None,
+        on_result=None,
+    ):
         self.results: list = [None] * count
         self.pending = count
+        self.done = 0
         self.event = threading.Event()
         self.trace = trace
+        self.job = job
+        self.on_result = on_result
+        self.cancelled = False
         self.obs: list = [None] * count
         self.timeline: list = [None] * count
         self.steals = 0
@@ -159,9 +178,23 @@ class _Ticket:
         self.busy_s = 0.0
         self.max_depth = 0
 
-    def wait(self) -> list:
-        self.event.wait()
+    def wait(self, timeout: float | None = None) -> list:
+        self.event.wait(timeout)
         return self.results
+
+    def progress(self) -> dict:
+        """Point-in-time per-job counters, safe to read from any thread
+        (monitoring only — values may be mid-update)."""
+        return {
+            "total": len(self.results),
+            "done": self.done,
+            "pending": self.pending,
+            "cancelled": self.cancelled,
+            "steals": self.steals,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "busy_s": self.busy_s,
+        }
 
 
 def _run_task(kind: str, payload) -> object:
@@ -293,6 +326,21 @@ class ObligationScheduler:
     def pool_size(self) -> int:
         return len(self._workers)
 
+    def telemetry(self) -> dict:
+        """Process-lifetime counters plus a point-in-time queue picture
+        (the serving layer's ``/metrics`` payload)."""
+        with self._lock:
+            return {
+                "pool_workers": len(self._workers),
+                "queued": sum(len(w.deque) for w in self._workers),
+                "inflight": len(self._inflight),
+                "steals": self.steals,
+                "retries": self.retries,
+                "timeouts": self.timeouts,
+                "worker_restarts": self.worker_restarts,
+                "max_queue_depth": self.max_queue_depth,
+            }
+
     def shutdown(self) -> None:
         """Stop workers and the dispatcher.  Idempotent."""
         with self._lock:
@@ -319,24 +367,29 @@ class ObligationScheduler:
         timeout_s: float | None = None,
         retries: int = 1,
         trace: bool = False,
+        job: str | None = None,
+        on_result=None,
     ) -> _Ticket:
         """Queue obligations; returns a ticket to ``wait()`` on.
 
         Multiple tickets may be outstanding at once — that is how
-        independent verification tasks share the pool.
+        independent verification tasks share the pool.  ``job`` tags
+        the ticket for telemetry and ``on_result(index, result)``
+        streams each verdict as it finalizes (see :class:`_Ticket` for
+        the callback's constraints).
         """
         specs = [
             ("ob", (ob, cache_dir, max_conflicts, timeout_s), ob.name) for ob in obligations
         ]
-        return self._submit(specs, retries, trace)
+        return self._submit(specs, retries, trace, job=job, on_result=on_result)
 
     def submit_calls(self, fn, items, retries: int = 0, trace: bool = False) -> _Ticket:
         """Queue generic ``fn(item)`` tasks (the JIT-sweep shape)."""
         specs = [("call", (fn, item), f"{getattr(fn, '__name__', 'call')}[{i}]") for i, item in enumerate(items)]
         return self._submit(specs, retries, trace)
 
-    def _submit(self, specs, retries: int, trace: bool = False) -> _Ticket:
-        ticket = _Ticket(len(specs), trace=trace)
+    def _submit(self, specs, retries: int, trace: bool = False, job=None, on_result=None) -> _Ticket:
+        ticket = _Ticket(len(specs), trace=trace, job=job, on_result=on_result)
         if not specs:
             ticket.event.set()
             return ticket
@@ -414,9 +467,47 @@ class ObligationScheduler:
             }
         if snap is not None:
             ticket.obs[task.index] = (wid, snap)
+        ticket.done += 1
         ticket.pending -= 1
+        if ticket.on_result is not None:
+            try:
+                ticket.on_result(task.index, result)
+            except Exception:
+                # A broken observer must not wedge dispatch.
+                pass
         if ticket.pending == 0:
             ticket.event.set()
+
+    def _cancelled_result(self, task: _Task):
+        if task.kind == "ob":
+            return ObligationResult(task.name, UNKNOWN, stats={"cancelled": True})
+        return _CallError("cancelled")
+
+    def cancel(self, ticket: _Ticket) -> int:
+        """Cancel a submission: tasks still queued are finalized as
+        ``unknown`` with ``stats["cancelled"]`` set; tasks already on a
+        worker run to completion (their per-obligation timeout still
+        applies) but are never retried.  Returns the number of tasks
+        cancelled before they started.  Idempotent; the ticket's
+        ``wait()`` returns once in-flight tasks drain.
+        """
+        with self._lock:
+            if ticket.cancelled:
+                return 0
+            ticket.cancelled = True
+            doomed: list[int] = []
+            for worker in self._workers:
+                kept = deque()
+                for tid in worker.deque:
+                    task = self._tasks.get(tid)
+                    if task is not None and task.ticket is ticket:
+                        doomed.append(tid)
+                    else:
+                        kept.append(tid)
+                worker.deque = kept
+            for tid in doomed:
+                self._finalize(self._tasks[tid], self._cancelled_result(self._tasks[tid]))
+            return len(doomed)
 
     def _requeue(self, wid: int, task: _Task) -> None:
         task.attempts += 1
@@ -460,6 +551,10 @@ class ObligationScheduler:
     def _handle_result(
         self, wid: int, task: _Task, result, elapsed: float, start: float, snap: dict | None
     ) -> None:
+        if task.ticket.cancelled:
+            # No retry budget for a cancelled job; report what we got.
+            self._finalize(task, result, wid=wid, start=start, elapsed=elapsed, snap=snap)
+            return
         if task.kind == "ob":
             timed_out = (
                 isinstance(result, ObligationResult)
@@ -482,7 +577,9 @@ class ObligationScheduler:
             tid = self._inflight.pop(worker.wid, None)
             if tid is not None and tid in self._tasks:
                 task = self._tasks[tid]
-                if task.attempts + 1 < task.max_attempts:
+                if task.ticket.cancelled:
+                    self._finalize(task, self._cancelled_result(task))
+                elif task.attempts + 1 < task.max_attempts:
                     self._requeue(worker.wid, task)
                 elif task.kind == "ob":
                     self._finalize(
@@ -626,6 +723,15 @@ def in_worker() -> bool:
     """True inside a scheduler worker process (nested parallelism is
     downgraded to sequential there; daemonic workers cannot fork)."""
     return os.environ.get(_WORKER_ENV) == "1"
+
+
+def peek_scheduler() -> ObligationScheduler | None:
+    """The shared scheduler if one is live, without creating it (the
+    serving layer's ``/metrics`` must not fork a pool on a read)."""
+    with _GLOBAL_LOCK:
+        if _GLOBAL is not None and not _GLOBAL.closed:
+            return _GLOBAL
+        return None
 
 
 def get_scheduler(workers: int = 0) -> ObligationScheduler:

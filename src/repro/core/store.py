@@ -26,11 +26,16 @@ Command-line interface::
     python -m repro.core.store index  [--store DIR]
     python -m repro.core.store gc     [--store DIR] [--max-age-h H] [--keep N]
     python -m repro.core.store export ARCHIVE [--store DIR]
-    python -m repro.core.store import ARCHIVE [--store DIR]
+    python -m repro.core.store import ARCHIVE [--store DIR] [--wait]
+
+Bulk imports take an flock (``.import.lock``) so two concurrent
+imports into one store cannot interleave their shard scans; a second
+importer refuses with exit code 3 unless ``--wait`` is passed.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import re
@@ -39,9 +44,14 @@ import tarfile
 import tempfile
 import time
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX: imports proceed unguarded
+    fcntl = None
+
 from ..smt.solver import SolverCache
 
-__all__ = ["VerdictStore", "DEFAULT_STORE_DIR", "main"]
+__all__ = ["StoreLockedError", "VerdictStore", "DEFAULT_STORE_DIR", "main"]
 
 DEFAULT_STORE_DIR = os.environ.get("REPRO_CACHE_DIR", ".solvercache")
 
@@ -50,6 +60,24 @@ DEFAULT_STORE_DIR = os.environ.get("REPRO_CACHE_DIR", ".solvercache")
 _DIGEST_RE = re.compile(r"^[0-9a-f]{16,64}$")
 
 INDEX_NAME = "index.json"
+IMPORT_LOCK_NAME = ".import.lock"
+
+
+class StoreLockedError(RuntimeError):
+    """Another process holds the store's import lock."""
+
+
+def _stat_or_none(fname: str):
+    """``os.stat`` that treats a vanished file as absent.
+
+    Store scans (index, summary, gc, export) run concurrently with
+    writers and with gc in other processes, so any file listed a moment
+    ago may already be gone; that is a skip, never an error.
+    """
+    try:
+        return os.stat(fname)
+    except OSError:
+        return None
 
 
 class VerdictStore(SolverCache):
@@ -95,7 +123,11 @@ class VerdictStore(SolverCache):
         for name in names:
             full = os.path.join(self.path, name)
             if os.path.isdir(full) and len(name) == 2:
-                for fname in os.listdir(full):
+                try:
+                    shard = os.listdir(full)
+                except OSError:
+                    continue  # shard removed mid-scan
+                for fname in shard:
                     stem, ext = os.path.splitext(fname)
                     if ext == ".json" and _DIGEST_RE.match(stem):
                         found.add(stem)
@@ -132,7 +164,9 @@ class VerdictStore(SolverCache):
             entry = self._read_entry(digest)
             if entry is None:
                 continue
-            st = os.stat(fname)
+            st = _stat_or_none(fname)
+            if st is None:
+                continue
             rows[digest] = {
                 "status": entry.get("status"),
                 "bytes": st.st_size,
@@ -159,8 +193,9 @@ class VerdictStore(SolverCache):
             count += 1
             by_status[entry.get("status", "?")] = by_status.get(entry.get("status", "?"), 0) + 1
             fname = self._find_entry_file(digest)
-            if fname:
-                total_bytes += os.stat(fname).st_size
+            st = _stat_or_none(fname) if fname else None
+            if st is not None:
+                total_bytes += st.st_size
         return {"path": self.path, "entries": count, "bytes": total_bytes, "by_status": by_status}
 
     def gc(self, max_age_s: float | None = None, keep: int | None = None) -> int:
@@ -177,7 +212,10 @@ class VerdictStore(SolverCache):
             fname = self._find_entry_file(digest)
             if fname is None:
                 continue
-            aged.append((os.stat(fname).st_mtime, digest, fname))
+            st = _stat_or_none(fname)
+            if st is None:
+                continue
+            aged.append((st.st_mtime, digest, fname))
         aged.sort(reverse=True)  # newest first
         doomed: list[str] = []
         for rank, (mtime, _digest, fname) in enumerate(aged):
@@ -210,17 +248,67 @@ class VerdictStore(SolverCache):
                 fname = self._find_entry_file(digest)
                 if fname is None:
                     continue
-                tar.add(fname, arcname=f"{digest[:2]}/{digest}.json")
+                try:
+                    tar.add(fname, arcname=f"{digest[:2]}/{digest}.json")
+                except OSError:
+                    continue  # entry gc'd mid-export
                 count += 1
             tar.add(self.index_path, arcname=INDEX_NAME)
         return count
 
-    def import_archive(self, archive_path: str) -> int:
+    @property
+    def import_lock_path(self) -> str:
+        return os.path.join(self.path, IMPORT_LOCK_NAME)
+
+    @contextlib.contextmanager
+    def import_lock(self, wait: bool = False):
+        """Exclusive flock over bulk imports into this store.
+
+        Entry writes are individually atomic, but a bulk import is a
+        long sequence of shard writes: two concurrent imports interleave
+        their ``_find_entry_file`` existence probes and both report
+        entries as "new", and a reader walking shards mid-import sees a
+        half-merged store with a stale index.  The flock makes bulk
+        imports mutually exclusive; with ``wait=False`` a held lock
+        raises :class:`StoreLockedError` instead of blocking.  On
+        platforms without ``fcntl`` the guard degrades to unlocked
+        (single-user platforms; the CI fleet is POSIX).
+        """
+        if fcntl is None:
+            yield
+            return
+        handle = open(self.import_lock_path, "a+")
+        try:
+            flags = fcntl.LOCK_EX | (0 if wait else fcntl.LOCK_NB)
+            try:
+                fcntl.flock(handle, flags)
+            except OSError:
+                raise StoreLockedError(
+                    f"another process is importing into {self.path} "
+                    f"(lock: {self.import_lock_path}); retry or pass --wait"
+                ) from None
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    def import_archive(self, archive_path: str, wait: bool = False) -> int:
         """Merge entries from an exported archive; returns how many were
         new.  Existing digests win (they are identical by construction);
         member names are validated so a hostile archive cannot escape
         the store directory.
+
+        Holds the store's :meth:`import_lock` for the duration — a
+        second importer either blocks (``wait=True``) or gets
+        :class:`StoreLockedError` — so concurrent bulk imports cannot
+        interleave their shard scans.
         """
+        with self.import_lock(wait=wait):
+            return self._import_archive_locked(archive_path)
+
+    def _import_archive_locked(self, archive_path: str) -> int:
         imported = 0
         with tarfile.open(archive_path, "r:gz") as tar:
             for member in tar.getmembers():
@@ -279,6 +367,12 @@ def main(argv=None) -> int:
     exp.add_argument("archive")
     imp = sub.add_parser("import", help="merge entries from an exported archive")
     imp.add_argument("archive")
+    imp.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until a concurrent import releases the store lock "
+        "(default: refuse with exit code 3)",
+    )
     args = parser.parse_args(argv)
 
     store = VerdictStore(args.store)
@@ -303,7 +397,10 @@ def main(argv=None) -> int:
         print(f"exported {count} entries -> {args.archive}")
     elif args.cmd == "import":
         try:
-            count = store.import_archive(args.archive)
+            count = store.import_archive(args.archive, wait=args.wait)
+        except StoreLockedError as exc:
+            print(f"import: {exc}", file=sys.stderr)
+            return 3
         except (OSError, tarfile.TarError) as exc:
             print(f"import: cannot read {args.archive}: {exc}", file=sys.stderr)
             return 1

@@ -1,0 +1,79 @@
+"""``python -m repro.serve`` — run the verification daemon.
+
+Prints ``serving on http://HOST:PORT`` (flushed) once the listener is
+bound, which is the line ``scripts/load_serve.py`` and the CI job
+parse to find an ephemeral port.  SIGTERM/SIGINT shut the listener
+down cleanly; jobs still running stay ``running`` in the spool and the
+next daemon marks them ``interrupted``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from ..core.store import DEFAULT_STORE_DIR
+from .app import VerificationServer
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-lived verification daemon over the shared scheduler + verdict store.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port (printed on stdout)"
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE_DIR,
+        help=f"verdict store shared by all jobs (default: $REPRO_CACHE_DIR or {DEFAULT_STORE_DIR})",
+    )
+    parser.add_argument(
+        "--spool", default=None, help="job spool directory (default: <store>/jobs)"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=2, help="default scheduler workers per job (default 2)"
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="skip the process-lifetime obs session (/metrics loses obs counters)",
+    )
+    parser.add_argument("--verbose", action="store_true", help="log each HTTP request")
+    args = parser.parse_args(argv)
+
+    server = VerificationServer(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        spool_dir=args.spool,
+        default_jobs=args.jobs,
+        trace=not args.no_trace,
+        verbose=args.verbose,
+    )
+    if server.registry.recovered:
+        print(
+            f"recovered spool: {len(server.registry.recovered)} job(s) marked interrupted",
+            flush=True,
+        )
+    print(f"serving on {server.url}", flush=True)
+
+    def _shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        print("daemon stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

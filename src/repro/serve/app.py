@@ -1,0 +1,484 @@
+"""The verification daemon: HTTP/JSON front end over the scheduler.
+
+``VerificationServer`` wires four existing pieces into a long-lived
+service with zero new dependencies (stdlib ``http.server`` only):
+
+  * the process-wide work-stealing scheduler discharges every job's
+    obligations (``repro.core.scheduler``);
+  * one content-addressed verdict store is shared by *all* jobs and
+    all clients, so concurrent submissions of overlapping work hit one
+    warm cache (``repro.core.store``);
+  * the job registry spools state so a daemon restart marks live jobs
+    ``interrupted`` instead of losing them (``repro.serve.jobs``);
+  * an optional process-lifetime ``repro.obs`` tracing session feeds
+    ``GET /metrics``.
+
+Endpoints (all JSON)::
+
+    POST /jobs                  submit {"kind": "grid"|"obligations", ...}
+    GET  /jobs                  job summaries
+    GET  /jobs/<id>             status + progress + verdict map
+    GET  /jobs/<id>/verdicts    verdict records; ?since=N pages, ?wait_s=S
+                                long-polls until new verdicts land
+    POST /jobs/<id>/cancel      cancel (queued obligations dropped,
+                                in-flight ones finish)
+    GET  /healthz               liveness + pool/job counts
+    GET  /metrics               obs counters, scheduler/store telemetry
+
+Determinism contract: a grid job's verdict map is keyed ``monitor.op``
+exactly like the bench CLI's artifact, and an obligation batch's
+records carry their submission ``index`` — reduced in index order they
+equal a sequential ``run_obligations`` call verbatim, whatever the
+work-stealing interleaving was.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.runner import Obligation
+from ..core.scheduler import get_scheduler, peek_scheduler
+from ..core.store import DEFAULT_STORE_DIR, VerdictStore
+from .grids import GRIDS, run_grid
+from .jobs import CANCELLED, DONE, FAILED, RUNNING, JobRegistry
+
+__all__ = ["VerificationServer", "ApiError"]
+
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/verdicts|/cancel)?$")
+
+# Long-poll ceiling: clients asking for more still get a response (and
+# re-poll), so a dead client can never pin a handler thread for long.
+MAX_WAIT_S = 30.0
+
+
+class ApiError(Exception):
+    """Request error carrying its HTTP status code."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class VerificationServer:
+    """The daemon: owns the registry, the store, and the HTTP listener.
+
+    ``default_jobs`` is how many scheduler workers a job uses unless
+    its submission says otherwise; the pool itself is shared and grows
+    to the largest request.  ``trace=True`` (default) keeps a
+    process-lifetime obs tracing session open so ``/metrics`` reports
+    live counters from every layer.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store_dir: str | None = None,
+        spool_dir: str | None = None,
+        default_jobs: int = 2,
+        trace: bool = True,
+        verbose: bool = False,
+    ):
+        import os
+
+        self.store_dir = store_dir or DEFAULT_STORE_DIR
+        self.store = VerdictStore(self.store_dir)
+        self.spool_dir = spool_dir or os.path.join(self.store_dir, "jobs")
+        self.registry = JobRegistry(self.spool_dir)
+        self.default_jobs = default_jobs
+        self.verbose = verbose
+        self.started_t = time.time()
+        self._collector = None
+        self._trace_ctx = None
+        if trace:
+            from ..obs import tracing
+
+            self._trace_ctx = tracing(absorb=False)
+            self._collector = self._trace_ctx.__enter__()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = self
+        self._serve_thread: threading.Thread | None = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "VerificationServer":
+        """Serve in a background thread (tests, embedded use)."""
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``python -m`` entrypoint)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop listening.  Running jobs stay in the spool as
+        ``running``; the next daemon marks them ``interrupted`` — the
+        restart contract tests rely on.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+        if self._trace_ctx is not None:
+            self._trace_ctx.__exit__(None, None, None)
+            self._trace_ctx = None
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, doc: dict):
+        """Validate a ``POST /jobs`` body, register the job, and start
+        its runner thread.  Raises :class:`ApiError` on a bad body."""
+        if not isinstance(doc, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        kind = doc.get("kind")
+        if kind == "grid":
+            job = self._submit_grid(doc)
+        elif kind == "obligations":
+            job = self._submit_obligations(doc)
+        else:
+            raise ApiError(400, f"kind must be 'grid' or 'obligations', got {kind!r}")
+        threading.Thread(
+            target=self._run_job, args=(job,), name=f"job-{job.id}", daemon=True
+        ).start()
+        return job
+
+    def _jobs_knob(self, doc: dict) -> int:
+        jobs = doc.get("jobs", self.default_jobs)
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 0:
+            raise ApiError(400, "jobs must be a non-negative integer")
+        return jobs or self.default_jobs
+
+    def _budget_knobs(self, doc: dict) -> tuple[int | None, float | None]:
+        max_conflicts = doc.get("max_conflicts")
+        if max_conflicts is not None and (
+            not isinstance(max_conflicts, int) or max_conflicts < 1
+        ):
+            raise ApiError(400, "max_conflicts must be a positive integer")
+        timeout_s = doc.get("timeout_s")
+        if timeout_s is not None and (
+            not isinstance(timeout_s, (int, float)) or timeout_s <= 0
+        ):
+            raise ApiError(400, "timeout_s must be a positive number")
+        return max_conflicts, timeout_s
+
+    def _submit_grid(self, doc: dict):
+        grid = doc.get("grid", "fig11-quick")
+        if grid not in GRIDS:
+            raise ApiError(400, f"unknown grid {grid!r}; one of {sorted(GRIDS)}")
+        opt = doc.get("opt", 1)
+        if opt not in (0, 1, 2):
+            raise ApiError(400, "opt must be 0, 1, or 2")
+        max_conflicts, timeout_s = self._budget_knobs(doc)
+        params = {
+            "grid": grid,
+            "opt": opt,
+            "jobs": self._jobs_knob(doc),
+            "max_conflicts": max_conflicts,
+            "timeout_s": timeout_s,
+        }
+        job = self.registry.create("grid", params)
+        job.total = len(GRIDS[grid])
+        return job
+
+    def _submit_obligations(self, doc: dict):
+        raw = doc.get("obligations")
+        if not isinstance(raw, list) or not raw:
+            raise ApiError(400, "obligations must be a non-empty list")
+        try:
+            obligations = [Obligation.from_json(entry) for entry in raw]
+        except ValueError as exc:
+            raise ApiError(400, str(exc))
+        max_conflicts, timeout_s = self._budget_knobs(doc)
+        params = {
+            "count": len(obligations),
+            "jobs": self._jobs_knob(doc),
+            "max_conflicts": max_conflicts,
+            "timeout_s": timeout_s,
+            "cache": bool(doc.get("cache", True)),
+        }
+        job = self.registry.create("obligations", params)
+        job.total = len(obligations)
+        # Runtime-only: parsed payloads ride on the job object, never
+        # through the spool.
+        job.obligations = obligations
+        return job
+
+    # -- execution -------------------------------------------------------
+
+    def _run_job(self, job) -> None:
+        from ..obs import count
+
+        with job.cond:
+            job.state = RUNNING
+            job.started_t = time.time()
+        self.registry.persist(job)
+        count("serve.jobs.started")
+        start = time.perf_counter()
+        try:
+            if job.kind == "grid":
+                self._run_grid_job(job)
+            else:
+                self._run_obligations_job(job)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.finish(FAILED, error=f"{type(exc).__name__}: {exc}")
+        finally:
+            job.stats["wall_s"] = time.perf_counter() - start
+            self.registry.persist(job)
+            count(f"serve.jobs.{job.state}")
+
+    def _run_grid_job(self, job) -> None:
+        params = job.params
+
+        def on_verdict(label, result):
+            job.add_verdict(
+                {
+                    "index": len(job.verdicts),
+                    "name": label,
+                    "status": "proved" if result.proved else
+                    ("unknown" if result.unknown else "failed"),
+                    "proved": bool(result.proved),
+                }
+            )
+            self.registry.persist(job)
+
+        verdicts, totals = run_grid(
+            params["grid"],
+            opt=params["opt"],
+            jobs=params["jobs"],
+            cache_dir=self.store_dir,
+            max_conflicts=params.get("max_conflicts"),
+            timeout_s=params.get("timeout_s"),
+            on_verdict=on_verdict,
+            should_stop=lambda: job.cancel_requested,
+        )
+        job.stats.update(totals)
+        job.stats["verdict_map"] = verdicts
+        job.finish(CANCELLED if job.cancel_requested else DONE)
+
+    def _run_obligations_job(self, job) -> None:
+        params = job.params
+        scheduler = get_scheduler(params["jobs"])
+        cache_dir = self.store_dir if params.get("cache", True) else None
+
+        def on_result(index, result):
+            # Dispatcher-thread callback: append + notify only, no
+            # scheduler calls, no disk IO (see _Ticket docs).
+            record = result.to_json()
+            record["index"] = index
+            job.add_verdict(record)
+
+        ticket = scheduler.submit_obligations(
+            job.obligations,
+            cache_dir=cache_dir,
+            max_conflicts=params.get("max_conflicts"),
+            timeout_s=params.get("timeout_s"),
+            job=job.id,
+            on_result=on_result,
+        )
+        job.ticket = ticket
+        results = ticket.wait()
+        progress = ticket.progress()
+        job.stats.update(
+            obligations=len(results),
+            cache_queries=sum(1 for r in results if r is not None and r.stats.get("cached")),
+            cache_hits=sum(1 for r in results if r is not None and r.stats.get("cache_hit")),
+            steals=progress["steals"],
+            retries=progress["retries"],
+            timeouts=progress["timeouts"],
+        )
+        job.finish(CANCELLED if ticket.cancelled else DONE)
+
+    def cancel(self, job) -> bool:
+        """Request cancellation; returns False once the job is terminal."""
+        with job.cond:
+            if job.is_terminal():
+                return False
+            job.cancel_requested = True
+        ticket = job.ticket
+        if ticket is not None:
+            scheduler = peek_scheduler()
+            if scheduler is not None:
+                scheduler.cancel(ticket)
+        return True
+
+    # -- monitoring ------------------------------------------------------
+
+    def healthz(self) -> dict:
+        scheduler = peek_scheduler()
+        return {
+            "ok": True,
+            "uptime_s": time.time() - self.started_t,
+            "jobs": self.registry.counts(),
+            "pool_workers": scheduler.pool_size if scheduler else 0,
+            "recovered_jobs": list(self.registry.recovered),
+        }
+
+    def metrics(self) -> dict:
+        scheduler = peek_scheduler()
+        doc = {
+            "uptime_s": time.time() - self.started_t,
+            "jobs": self.registry.counts(),
+            "scheduler": scheduler.telemetry() if scheduler else None,
+            "store": {
+                "path": self.store.path,
+                "entries": len(self.store.digests()),
+            },
+        }
+        if self._collector is not None:
+            snap = self._collector.snapshot()
+            doc["obs"] = {
+                "counters": snap["counters"],
+                "spans": len(snap["spans"]),
+                "dropped_spans": snap["dropped_spans"],
+            }
+        return doc
+
+
+# ---------------------------------------------------------------------------
+# HTTP plumbing
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> VerificationServer:
+        return self.server.app
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.app.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _send_json(self, code: int, doc: dict) -> None:
+        payload = json.dumps(doc).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-reply
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ApiError(400, "request body required")
+        if length > 64 * 1024 * 1024:
+            raise ApiError(413, "request body too large")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise ApiError(400, f"invalid JSON body: {exc}")
+
+    def _query(self) -> dict:
+        from urllib.parse import parse_qs, urlsplit
+
+        return {k: v[-1] for k, v in parse_qs(urlsplit(self.path).query).items()}
+
+    def _job_or_404(self, job_id: str):
+        job = self.app.registry.get(job_id)
+        if job is None:
+            raise ApiError(404, f"no such job {job_id!r}")
+        return job
+
+    def _route(self, method: str) -> None:
+        from ..obs import count
+
+        count("serve.http.requests")
+        try:
+            path = self.path.split("?", 1)[0]
+            match = _JOB_PATH.match(path)
+            if method == "GET" and path == "/healthz":
+                self._send_json(200, self.app.healthz())
+            elif method == "GET" and path == "/metrics":
+                self._send_json(200, self.app.metrics())
+            elif method == "GET" and path == "/jobs":
+                self._send_json(
+                    200, {"jobs": [job.snapshot() for job in self.app.registry.jobs()]}
+                )
+            elif method == "POST" and path == "/jobs":
+                job = self.app.submit(self._read_body())
+                self._send_json(
+                    201,
+                    {"id": job.id, "state": job.state, "kind": job.kind,
+                     "location": f"/jobs/{job.id}"},
+                )
+            elif match and method == "GET" and match.group(2) is None:
+                job = self._job_or_404(match.group(1))
+                self._send_json(200, job.snapshot())
+            elif match and method == "GET" and match.group(2) == "/verdicts":
+                self._get_verdicts(self._job_or_404(match.group(1)))
+            elif match and method == "POST" and match.group(2) == "/cancel":
+                job = self._job_or_404(match.group(1))
+                accepted = self.app.cancel(job)
+                self._send_json(
+                    202 if accepted else 409,
+                    {"id": job.id, "state": job.state, "cancelling": accepted},
+                )
+            else:
+                raise ApiError(404, f"no route for {method} {path}")
+        except ApiError as exc:
+            self._send_json(exc.code, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - handler isolation boundary
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _get_verdicts(self, job) -> None:
+        query = self._query()
+        try:
+            since = int(query.get("since", 0))
+            wait_s = min(float(query.get("wait_s", 0)), MAX_WAIT_S)
+        except ValueError:
+            raise ApiError(400, "since must be an integer, wait_s a number")
+        if since < 0:
+            raise ApiError(400, "since must be >= 0")
+        deadline = time.monotonic() + wait_s
+        with job.cond:
+            while (
+                len(job.verdicts) <= since
+                and not job.is_terminal()
+                and (remaining := deadline - time.monotonic()) > 0
+            ):
+                job.cond.wait(min(remaining, 1.0))
+            records = list(job.verdicts[since:])
+            state = job.state
+        self._send_json(
+            200,
+            {
+                "id": job.id,
+                "state": state,
+                "since": since,
+                "next": since + len(records),
+                "verdicts": records,
+            },
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._route("POST")

@@ -1,0 +1,139 @@
+"""Minimal stdlib client for the verification daemon.
+
+Everything rides ``urllib.request`` — one connection per call, no
+state — so the client is trivially safe to share across threads (the
+load driver runs eight of them against one daemon).
+
+Usage::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8631")
+    job_id = client.submit_grid("fig11-quick")["id"]
+    final = client.wait(job_id)
+    assert final["state"] == "done"
+    print(client.verdict_map(job_id))
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from ..core.runner import Obligation
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """Daemon-side error reply (carries the HTTP status code)."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(f"HTTP {code}: {message}")
+        self.code = code
+
+
+class ServeClient:
+    def __init__(self, base_url: str, timeout_s: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as reply:
+                return json.loads(reply.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServeError(exc.code, message) from None
+
+    # -- endpoints -------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def submit_grid(self, grid: str = "fig11-quick", opt: int = 1, **knobs) -> dict:
+        return self._request(
+            "POST", "/jobs", {"kind": "grid", "grid": grid, "opt": opt, **knobs}
+        )
+
+    def submit_obligations(self, obligations, **knobs) -> dict:
+        docs = [
+            ob.to_json() if isinstance(ob, Obligation) else ob for ob in obligations
+        ]
+        return self._request(
+            "POST", "/jobs", {"kind": "obligations", "obligations": docs, **knobs}
+        )
+
+    def verdicts(self, job_id: str, since: int = 0, wait_s: float = 0) -> dict:
+        query = f"?since={since}" + (f"&wait_s={wait_s}" if wait_s else "")
+        return self._request("GET", f"/jobs/{job_id}/verdicts{query}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    # -- conveniences ----------------------------------------------------
+
+    def stream(self, job_id: str, poll_wait_s: float = 10.0):
+        """Yield verdict records as they land, until the job is terminal."""
+        cursor = 0
+        while True:
+            page = self.verdicts(job_id, since=cursor, wait_s=poll_wait_s)
+            yield from page["verdicts"]
+            cursor = page["next"]
+            if page["state"] in ("done", "failed", "cancelled", "interrupted"):
+                # Drain anything that landed between the last wait and
+                # the terminal transition.
+                tail = self.verdicts(job_id, since=cursor)
+                yield from tail["verdicts"]
+                return
+
+    def wait(self, job_id: str, timeout_s: float = 600.0) -> dict:
+        """Block until the job is terminal; returns its final snapshot."""
+        deadline = time.monotonic() + timeout_s
+        cursor = 0
+        while True:
+            page = self.verdicts(
+                job_id, since=cursor, wait_s=min(10.0, max(0.0, deadline - time.monotonic()))
+            )
+            cursor = page["next"]
+            if page["state"] in ("done", "failed", "cancelled", "interrupted"):
+                return self.job(job_id)
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {page['state']} after {timeout_s}s")
+
+    def results(self, job_id: str) -> list[dict]:
+        """All verdict records in submission-index order (the
+        deterministic reduction order, whatever order they landed in)."""
+        records = self.verdicts(job_id)["verdicts"]
+        return sorted(records, key=lambda r: r.get("index", 0))
+
+    def verdict_map(self, job_id: str) -> dict:
+        """``{name: proved}`` — for grid jobs, byte-identical to the
+        bench CLI's ``summary["verdicts"]`` map."""
+        return {
+            r["name"]: r.get("proved", r.get("status") == "proved")
+            for r in self.results(job_id)
+        }

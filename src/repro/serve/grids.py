@@ -1,0 +1,111 @@
+"""Named verifier runs the daemon can execute by name.
+
+The grid names mirror the Figure 11 benchmark's obligation sets
+(``benchmarks/bench_fig11_verify.py``), so a daemon grid job and the
+standalone CLI produce the *same verdict map keys* — ``monitor.op`` —
+and CI can diff them byte-for-byte.
+
+Symbolic evaluation builds terms in the global hash-consing
+``TermManager``, which is not safe under concurrent mutation from
+multiple daemon threads; ``_EVAL_LOCK`` therefore serializes the
+*evaluation* of each operation.  Solving still overlaps: every op's
+proof obligations fan out to the process-wide work-stealing pool, and
+all concurrent jobs share the one content-addressed verdict store —
+which is exactly why a warm daemon answers the same grid an order of
+magnitude faster.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["GRIDS", "grid_ops", "run_grid"]
+
+# Representative subsets first (the bench's defaults), full interfaces
+# after — same ops, same order, same names.
+_CERTIKOS_QUICK = ["get_quota", "yield"]
+_CERTIKOS_FULL = _CERTIKOS_QUICK + ["spawn", "invalid"]
+_KOMODO_QUICK = [
+    "init_addrspace", "init_thread", "map_secure", "enter", "exit", "stop", "remove",
+]
+_KOMODO_FULL = _KOMODO_QUICK + [
+    "init_l2ptable", "init_l3ptable", "map_insecure", "finalize", "resume", "invalid",
+]
+
+GRIDS: dict[str, list[tuple[str, str]]] = {
+    "fig11-quick": [("certikos", op) for op in _CERTIKOS_QUICK],
+    "fig11": [("certikos", op) for op in _CERTIKOS_QUICK]
+    + [("komodo", op) for op in _KOMODO_QUICK],
+    "fig11-full": [("certikos", op) for op in _CERTIKOS_FULL]
+    + [("komodo", op) for op in _KOMODO_FULL],
+}
+
+_EVAL_LOCK = threading.Lock()
+
+
+def grid_ops(name: str) -> list[tuple[str, str]]:
+    """The ``(monitor, op)`` list for a named grid (KeyError if unknown)."""
+    return list(GRIDS[name])
+
+
+def _make_verifier(monitor: str, opt: int, jobs: int, cache_dir: str | None):
+    if monitor == "certikos":
+        from ..certikos import CertikosVerifier as Verifier
+    elif monitor == "komodo":
+        from ..komodo import KomodoVerifier as Verifier
+    else:
+        raise ValueError(f"unknown monitor {monitor!r}")
+    return Verifier(opt=opt, jobs=jobs, cache_dir=cache_dir)
+
+
+def run_grid(
+    name: str,
+    opt: int = 1,
+    jobs: int = 2,
+    cache_dir: str | None = None,
+    max_conflicts: int | None = None,
+    timeout_s: float | None = None,
+    on_verdict=None,
+    should_stop=None,
+) -> tuple[dict[str, bool], dict]:
+    """Run a named grid; returns ``(verdict_map, aggregate_stats)``.
+
+    ``verdict_map`` is ``{"monitor.op": proved}`` in grid order — the
+    exact map the bench CLI writes under ``summary["verdicts"]``.
+    ``on_verdict(label, result)`` fires after each op;  ``should_stop()``
+    is polled between ops so a cancel lands at the next op boundary.
+    """
+    ops = grid_ops(name)
+    verdicts: dict[str, bool] = {}
+    totals = {
+        "ops": 0,
+        "obligations": 0,
+        "cache_queries": 0,
+        "cache_hits": 0,
+        "eval_wall_s": 0.0,
+    }
+    for monitor, op in ops:
+        if should_stop is not None and should_stop():
+            break
+        start = time.perf_counter()
+        with _EVAL_LOCK:
+            verifier = _make_verifier(monitor, opt, jobs, cache_dir)
+            if max_conflicts is not None:
+                verifier.max_conflicts = max_conflicts
+            if timeout_s is not None:
+                verifier.timeout_s = timeout_s
+            result = verifier.prove_op(op)
+        label = f"{monitor}.{op}"
+        verdicts[label] = bool(result.proved)
+        totals["ops"] += 1
+        stats = result.stats or {}
+        totals["obligations"] += int(
+            stats.get("obligations", stats.get("num_vcs", 0)) or 0
+        )
+        totals["cache_queries"] += int(stats.get("cache_queries", 0) or 0)
+        totals["cache_hits"] += int(stats.get("cache_hits", 0) or 0)
+        totals["eval_wall_s"] += time.perf_counter() - start
+        if on_verdict is not None:
+            on_verdict(label, result)
+    return verdicts, totals

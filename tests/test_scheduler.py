@@ -6,8 +6,11 @@ out, and retried, the verdicts — and the first failing obligation —
 must be exactly the sequential baseline's.
 """
 
+import threading
+import time
+
 from repro.core.runner import Obligation, reduce_results, run_obligations
-from repro.core.scheduler import ObligationScheduler, get_scheduler, in_worker
+from repro.core.scheduler import ObligationScheduler, get_scheduler, in_worker, peek_scheduler
 from repro.smt import bv_sort, fresh_var, mk_bv, mk_bvadd, mk_bvand, mk_bvmul, mk_bvxor, mk_eq, mk_ule
 
 
@@ -106,3 +109,115 @@ class TestTimeouts:
         results, stats = run_obligations([ob, ob], jobs=2, timeout_s=30.0)
         assert all(r.status == "proved" for r in results)
         assert stats.as_dict().get("timeouts", 0) == 0
+
+
+def _slow_obligation(name: str, bits: int = 12) -> Obligation:
+    """The ring identity (x+1)(y+1) == xy+x+y+1: survives construction-
+    time rewriting and is slow enough at 12 bits that it only ends via
+    its per-obligation timeout — a reliably in-flight task."""
+    x = fresh_var("sx", bv_sort(bits))
+    y = fresh_var("sy", bv_sort(bits))
+    one = mk_bv(1, bits)
+    lhs = mk_bvmul(mk_bvadd(x, one), mk_bvadd(y, one))
+    rhs = mk_bvadd(mk_bvadd(mk_bvmul(x, y), mk_bvadd(x, y)), one)
+    return Obligation.from_terms(name, [mk_eq(lhs, rhs)])
+
+
+class TestCancellation:
+    def test_cancel_drops_queued_finishes_inflight(self):
+        """With one worker, task 0 is in flight and the rest are queued:
+        cancel() finalizes the queued tasks as ``cancelled`` instantly,
+        and the in-flight task ends at its timeout without a retry."""
+        obligations = [_slow_obligation(f"slow{i}") for i in range(6)]
+        sched = ObligationScheduler(workers=1)
+        try:
+            ticket = sched.submit_obligations(obligations, timeout_s=1.0)
+            dropped = sched.cancel(ticket)
+            assert dropped == len(obligations) - 1  # all but the in-flight one
+            assert ticket.cancelled
+
+            # The queued tasks are already finalized, before wait().
+            for result in ticket.results[1:]:
+                assert result.status == "unknown"
+                assert result.stats.get("cancelled") is True
+
+            results = ticket.wait(timeout=30.0)
+            progress = ticket.progress()
+            assert progress["done"] == len(obligations)
+            assert progress["pending"] == 0
+            # The in-flight obligation reported its timeout, un-retried.
+            assert results[0].status == "unknown"
+            assert results[0].stats.get("timed_out")
+            assert progress["retries"] == 0
+
+            # Idempotent: a second cancel finds nothing left to drop.
+            assert sched.cancel(ticket) == 0
+        finally:
+            sched.shutdown()
+
+    def test_cancel_empty_after_completion(self):
+        """Cancelling a ticket whose work already finished drops nothing
+        and does not disturb the recorded results."""
+        obligations = _obligation_set()
+        sched = ObligationScheduler(workers=2)
+        try:
+            ticket = sched.submit_obligations(obligations)
+            results = ticket.wait(timeout=60.0)
+            statuses = [r.status for r in results]
+            assert sched.cancel(ticket) == 0
+            assert [r.status for r in ticket.results] == statuses
+        finally:
+            sched.shutdown()
+
+
+class TestStreaming:
+    def test_on_result_streams_every_verdict(self):
+        """on_result fires exactly once per obligation, with the index
+        and result that land in the ticket's reduction slot."""
+        obligations = _obligation_set()
+        seen = []
+        lock = threading.Lock()
+
+        def on_result(index, result):
+            with lock:
+                seen.append((index, result.status))
+
+        sched = ObligationScheduler(workers=2)
+        try:
+            ticket = sched.submit_obligations(
+                obligations, job="job-under-test", on_result=on_result
+            )
+            results = ticket.wait(timeout=60.0)
+        finally:
+            sched.shutdown()
+        assert ticket.job == "job-under-test"
+        assert sorted(index for index, _ in seen) == list(range(len(obligations)))
+        assert dict(seen) == {i: r.status for i, r in enumerate(results)}
+
+    def test_progress_reaches_total(self):
+        obligations = _obligation_set()
+        sched = ObligationScheduler(workers=2)
+        try:
+            ticket = sched.submit_obligations(obligations)
+            deadline = time.monotonic() + 60.0
+            while ticket.progress()["pending"] and time.monotonic() < deadline:
+                time.sleep(0.01)
+            progress = ticket.progress()
+        finally:
+            sched.shutdown()
+        assert progress["total"] == len(obligations)
+        assert progress["done"] == len(obligations)
+        assert not progress["cancelled"]
+
+
+class TestTelemetry:
+    def test_peek_does_not_create_and_telemetry_keys(self):
+        """peek_scheduler only reveals a live shared pool; telemetry
+        carries the counters /metrics publishes."""
+        sched = get_scheduler()
+        assert peek_scheduler() is sched
+        telemetry = sched.telemetry()
+        assert telemetry["pool_workers"] == sched.pool_size
+        for key in ("queued", "inflight", "steals", "retries", "timeouts",
+                    "worker_restarts", "max_queue_depth"):
+            assert isinstance(telemetry[key], int), key

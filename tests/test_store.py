@@ -9,7 +9,9 @@ import json
 import multiprocessing
 import os
 
-from repro.core.store import VerdictStore
+import pytest
+
+from repro.core.store import StoreLockedError, VerdictStore, main as store_main
 from repro.smt import SAT, UNSAT, CheckResult, Model
 
 
@@ -130,3 +132,78 @@ class TestConcurrentWriters:
         shard = os.path.join(path, DIGEST[:2])
         assert os.listdir(shard) == [f"{DIGEST}.json"]
         assert not [f for f in os.listdir(path) if f.endswith(".tmp")]
+
+
+class TestImportLock:
+    """Bulk imports are mutually exclusive via an advisory flock, so two
+    concurrent ``store import`` processes cannot interleave their shard
+    scans (flock conflicts across file descriptors, so a second handle
+    in this process stands in for a second process)."""
+
+    @pytest.fixture(autouse=True)
+    def _needs_flock(self):
+        pytest.importorskip("fcntl")
+
+    def _archive(self, tmp_path):
+        src = VerdictStore(str(tmp_path / "src"))
+        expected = _populate(src)
+        archive = str(tmp_path / "verdicts.tar.gz")
+        src.export_archive(archive)
+        return archive, expected
+
+    def test_concurrent_import_refused_without_wait(self, tmp_path):
+        archive, expected = self._archive(tmp_path)
+        dst = VerdictStore(str(tmp_path / "dst"))
+        holder = VerdictStore(dst.path)
+        with holder.import_lock():
+            with pytest.raises(StoreLockedError, match="retry or pass --wait"):
+                dst.import_archive(archive)
+        # Lock released: the retry goes through, nothing was half-merged.
+        assert dst.import_archive(archive) == len(expected)
+        assert sorted(dst.digests()) == sorted(expected)
+
+    def test_wait_blocks_until_released(self, tmp_path):
+        archive, expected = self._archive(tmp_path)
+        dst = VerdictStore(str(tmp_path / "dst"))
+        # No competing holder: wait=True acquires immediately.
+        assert dst.import_archive(archive, wait=True) == len(expected)
+
+    def test_cli_import_exits_3_when_locked(self, tmp_path, capsys):
+        archive, expected = self._archive(tmp_path)
+        dst = VerdictStore(str(tmp_path / "dst"))
+        holder = VerdictStore(dst.path)
+        with holder.import_lock():
+            assert store_main(["--store", dst.path, "import", archive]) == 3
+        assert "retry or pass --wait" in capsys.readouterr().err
+        assert store_main(["--store", dst.path, "import", archive]) == 0
+        assert sorted(dst.digests()) == sorted(expected)
+
+
+class TestVanishTolerance:
+    """Maintenance walks must tolerate entries vanishing mid-scan (a
+    concurrent gc or importer): skip, never raise."""
+
+    def _store_with_ghost(self, tmp_path, monkeypatch):
+        store = VerdictStore(str(tmp_path / "s"))
+        expected = _populate(store)
+        ghost = "ff" * 8
+        real_digests = list(expected)
+        monkeypatch.setattr(store, "digests", lambda: real_digests + [ghost])
+        return store, expected
+
+    def test_summary_skips_vanished_entries(self, tmp_path, monkeypatch):
+        store, expected = self._store_with_ghost(tmp_path, monkeypatch)
+        summary = store.summary()
+        assert summary["entries"] == len(expected)
+
+    def test_write_index_skips_vanished_entries(self, tmp_path, monkeypatch):
+        store, expected = self._store_with_ghost(tmp_path, monkeypatch)
+        index = store.write_index()
+        assert index["entries"] == len(expected)
+        assert sorted(index["rows"]) == sorted(expected)
+
+    def test_export_and_gc_skip_vanished_entries(self, tmp_path, monkeypatch):
+        store, expected = self._store_with_ghost(tmp_path, monkeypatch)
+        archive = str(tmp_path / "out.tar.gz")
+        assert store.export_archive(archive) == len(expected)
+        assert store.gc(keep=len(expected)) == 0
