@@ -5,6 +5,8 @@ Usage: check_bench.py CURRENT.json BASELINE.json
            [--max-wall-regression 0.25] [--max-prop-growth 0.10]
        check_bench.py --serve BENCH_serve.json BENCH_serve_baseline.json
            [--max-throughput-drop 0.25] [--min-speedup 2.0]
+       check_bench.py --certs BENCH_with_certs.json BENCH_no_certs.json
+           [--max-cert-overhead 0.10]
 
 Default mode fails (nonzero exit) when the current quick-grid artifact
 regresses past the committed ``BENCH_baseline.json``:
@@ -28,6 +30,14 @@ silently untraced run can never pass the gate.
     ``BENCH_serve_baseline.json``;
   * the warm/cold speedup must stay above ``--min-speedup`` (default
     2.0) — the shared-cache contract, machine-independent.
+
+``--certs`` mode gates proof-certificate emission cost: the first
+artifact is a cold quick-grid run with certificates on, the second the
+same grid with ``REPRO_NO_CERTS=1``.  Wall time with certificates must
+stay within ``--max-cert-overhead`` (default 10%) of the cert-less
+run, so "every verdict ships a checkable proof" never becomes a tax
+anyone is tempted to switch off (the escape hatch exists regardless:
+``REPRO_NO_CERTS=1``, documented in docs/CERTIFICATES.md).
 """
 
 import argparse
@@ -86,6 +96,60 @@ def check_serve(current: dict, baseline: dict, args) -> int:
     return 0
 
 
+def check_certs(current: dict, baseline: dict, args) -> int:
+    """Gate certificate-emission overhead: ``current`` ran with certs
+    on, ``baseline`` is the same grid with ``REPRO_NO_CERTS=1``."""
+    cur_wall = current.get("wall_s")
+    base_wall = baseline.get("wall_s")
+    for name, wall, path in (
+        ("with-certs", cur_wall, args.current),
+        ("no-certs", base_wall, args.baseline),
+    ):
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            print(
+                f"FAIL: {name} artifact {path} has no positive wall_s — "
+                "generate both artifacts with bench_fig11_verify.py --quick",
+                file=sys.stderr,
+            )
+            return 3
+    counters = ((current.get("obs") or {}).get("counters") or {})
+    certs = counters.get("solver.certs", 0)
+    if not certs:
+        print(
+            "FAIL: with-certs run emitted no certificates — the overhead "
+            "gate would be vacuous (was REPRO_NO_CERTS set, or --cache missing?)",
+            file=sys.stderr,
+        )
+        return 1
+    cert_s = counters.get("solver.cert_build_s")
+    if isinstance(cert_s, (int, float)) and cert_s >= 0:
+        # Preferred: the solver accumulates actual emission seconds in a
+        # counter, so the ratio is measured within one run instead of
+        # differencing two walls (which flakes on noisy CI machines —
+        # quick-grid walls vary more than the 10% being gated).
+        overhead = cert_s / cur_wall
+        print(
+            f"cert overhead: {cert_s * 1000:.0f}ms emitting {certs} certificates "
+            f"in a {cur_wall:.2f}s run = {overhead:.1%} of wall "
+            f"(cap {args.max_cert_overhead:.0%}; no-certs wall {base_wall:.2f}s)"
+        )
+    else:
+        overhead = cur_wall / base_wall - 1.0
+        print(
+            f"cert overhead: {cur_wall:.2f}s with certs ({certs} emitted) vs "
+            f"{base_wall:.2f}s without = {overhead:+.1%} (cap {args.max_cert_overhead:.0%})"
+        )
+    if overhead > args.max_cert_overhead:
+        print(
+            f"FAIL: certificate emission costs {overhead:.1%} wall, above the "
+            f"{args.max_cert_overhead:.0%} cap",
+            file=sys.stderr,
+        )
+        return 1
+    print("cert overhead gate holds")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_fig11.json from this run")
@@ -99,6 +163,13 @@ def main() -> int:
     )
     parser.add_argument("--max-throughput-drop", type=float, default=0.25)
     parser.add_argument("--min-speedup", type=float, default=2.0)
+    parser.add_argument(
+        "--certs",
+        action="store_true",
+        help="gate certificate-emission overhead: CURRENT ran with certs, "
+        "BASELINE with REPRO_NO_CERTS=1",
+    )
+    parser.add_argument("--max-cert-overhead", type=float, default=0.10)
     args = parser.parse_args()
 
     current = _load(args.current)
@@ -106,6 +177,8 @@ def main() -> int:
 
     if args.serve:
         return check_serve(current, baseline, args)
+    if args.certs:
+        return check_certs(current, baseline, args)
 
     failures = []
     for name, path, doc in (

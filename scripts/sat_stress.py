@@ -158,6 +158,58 @@ def check_modes() -> int:
     return 0
 
 
+def check_certificates() -> int:
+    """Run the stress grid cache-backed in both solver modes, then audit
+    every stored verdict with the independent proof checker.
+
+    The audit runs ``python -m repro.smt.checkproof --store`` in a child
+    process, exactly as a third party would — nothing from this
+    process's solver state can leak into the check.
+    """
+    import tempfile
+
+    from repro.core.runner import run_obligations
+
+    with tempfile.TemporaryDirectory(prefix="stress_certs_") as store:
+        for mode, env_val in (("incremental", "0"), ("fresh", "1")):
+            os.environ["REPRO_NO_INCREMENTAL"] = env_val
+            try:
+                from repro.core.runner import Obligation
+                from repro.smt import bv_sort, fresh_var, mk_bv, mk_bvand, mk_bvmul, mk_bvxor, mk_eq, mk_ule
+
+                obligations = []
+                for i in range(10):
+                    x = fresh_var(f"c{mode}x", bv_sort(8))
+                    y = fresh_var(f"c{mode}y", bv_sort(8))
+                    if i % 4 == 3:
+                        goal = mk_eq(mk_bvmul(x, y), mk_bv(91, 8))
+                    elif i % 2:
+                        goal = mk_ule(mk_bvand(x, mk_bv(0x3F, 8)), mk_bv(0x3F, 8))
+                    else:
+                        goal = mk_eq(mk_bvxor(mk_bvxor(x, y), y), mk_bvand(x, mk_bv(0xFF, 8)))
+                    obligations.append(Obligation.from_terms(f"cert-{mode}-{i}", [goal]))
+                run_obligations(obligations, jobs=1, cache_dir=store)
+            finally:
+                os.environ.pop("REPRO_NO_INCREMENTAL", None)
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.smt.checkproof", "--store", store, "--require-certs"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=REPO,
+        )
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+        if proc.returncode != 0:
+            print(f"FAIL: checkproof audit exited {proc.returncode}", file=sys.stderr)
+            return 1
+    print("certificate audit holds")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--corpus-only", action="store_true")
@@ -171,6 +223,7 @@ def main() -> int:
     rc = check_corpus()
     if not args.corpus_only:
         rc = check_modes() or rc
+        rc = check_certificates() or rc
     return rc
 
 

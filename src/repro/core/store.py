@@ -36,6 +36,7 @@ importer refuses with exit code 3 unless ``--wait`` is passed.
 from __future__ import annotations
 
 import contextlib
+import gzip
 import json
 import os
 import re
@@ -99,6 +100,38 @@ class VerdictStore(SolverCache):
 
     def _legacy_path(self, digest: str) -> str:
         return os.path.join(self.path, f"{digest}.json")
+
+    def _cert_path(self, digest: str) -> str:
+        # Certificates shard alongside their entries.
+        return os.path.join(self.path, digest[:2], f"{digest}.cert.json")
+
+    def _find_cert_file(self, digest: str) -> str | None:
+        """On-disk certificate for ``digest`` (sharded or legacy flat,
+        plain or gzipped), or None."""
+        sharded = self._cert_path(digest)
+        flat = os.path.join(self.path, f"{digest}.cert.json")
+        for candidate in (sharded, sharded + ".gz", flat, flat + ".gz"):
+            if os.path.exists(candidate):
+                return candidate
+        return None
+
+    def load_certificate(self, digest: str) -> dict | None:
+        cert = super().load_certificate(digest)
+        if cert is not None:
+            return cert
+        # Flat-layout certificates (written by a plain SolverCache
+        # pointed at this directory before it became a store).
+        fname = self._find_cert_file(digest)
+        if fname is None:
+            return None
+        try:
+            with open(fname, "rb") as handle:
+                raw = handle.read()
+            if fname.endswith(".gz"):
+                raw = gzip.decompress(raw)
+            return json.loads(raw.decode())
+        except (OSError, ValueError):
+            return None
 
     def _read_entry(self, digest: str) -> dict | None:
         entry = super()._read_entry(digest)
@@ -171,6 +204,7 @@ class VerdictStore(SolverCache):
                 "status": entry.get("status"),
                 "bytes": st.st_size,
                 "mtime": st.st_mtime,
+                "cert": self._find_cert_file(digest) is not None,
             }
         index = {"version": 1, "entries": len(rows), "rows": rows}
         fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
@@ -182,10 +216,18 @@ class VerdictStore(SolverCache):
     # -- stats / gc ------------------------------------------------------
 
     def summary(self) -> dict:
-        """Counts by verdict, total bytes, and entry count."""
+        """Counts by verdict, total bytes, entry and certificate counts.
+
+        Mixed stores are the norm (entries written before certificates
+        existed sit next to certified ones), so every per-entry field
+        here is optional: a missing or unreadable certificate only
+        decrements a count, it never aborts the walk.
+        """
         by_status: dict[str, int] = {}
         total_bytes = 0
         count = 0
+        certs = 0
+        cert_bytes = 0
         for digest in self.digests():
             entry = self._read_entry(digest)
             if entry is None:
@@ -196,7 +238,19 @@ class VerdictStore(SolverCache):
             st = _stat_or_none(fname) if fname else None
             if st is not None:
                 total_bytes += st.st_size
-        return {"path": self.path, "entries": count, "bytes": total_bytes, "by_status": by_status}
+            cert_file = self._find_cert_file(digest)
+            cst = _stat_or_none(cert_file) if cert_file else None
+            if cst is not None:
+                certs += 1
+                cert_bytes += cst.st_size
+        return {
+            "path": self.path,
+            "entries": count,
+            "bytes": total_bytes,
+            "by_status": by_status,
+            "certificates": certs,
+            "cert_bytes": cert_bytes,
+        }
 
     def gc(self, max_age_s: float | None = None, keep: int | None = None) -> int:
         """Collect entries older than ``max_age_s`` and/or trim to the
@@ -218,11 +272,19 @@ class VerdictStore(SolverCache):
             aged.append((st.st_mtime, digest, fname))
         aged.sort(reverse=True)  # newest first
         doomed: list[str] = []
-        for rank, (mtime, _digest, fname) in enumerate(aged):
+        for rank, (mtime, digest, fname) in enumerate(aged):
             too_old = max_age_s is not None and (now - mtime) > max_age_s
             overflow = keep is not None and rank >= keep
             if too_old or overflow:
                 doomed.append(fname)
+                # An orphan certificate has nothing to certify; drop it
+                # with its entry (uncounted: the return value is entries).
+                cert_file = self._find_cert_file(digest)
+                if cert_file is not None:
+                    try:
+                        os.unlink(cert_file)
+                    except OSError:
+                        pass
         removed = 0
         for fname in doomed:
             try:
@@ -239,7 +301,9 @@ class VerdictStore(SolverCache):
 
         The archive stores sharded relative names
         (``ab/ab12....json``), so importing normalizes legacy flat
-        entries into the sharded layout as a side effect.
+        entries into the sharded layout as a side effect.  Certificates
+        travel with their entries (``ab/ab12....cert.json[.gz]``) —
+        an imported verdict stays independently checkable.
         """
         self.write_index()
         count = 0
@@ -253,6 +317,13 @@ class VerdictStore(SolverCache):
                 except OSError:
                     continue  # entry gc'd mid-export
                 count += 1
+                cert_file = self._find_cert_file(digest)
+                if cert_file is not None:
+                    suffix = ".cert.json.gz" if cert_file.endswith(".gz") else ".cert.json"
+                    try:
+                        tar.add(cert_file, arcname=f"{digest[:2]}/{digest}{suffix}")
+                    except OSError:
+                        pass  # cert gc'd mid-export; entry still valid
             tar.add(self.index_path, arcname=INDEX_NAME)
         return count
 
@@ -308,35 +379,60 @@ class VerdictStore(SolverCache):
         with self.import_lock(wait=wait):
             return self._import_archive_locked(archive_path)
 
+    # (digest, suffix) parsers for archive member names.  Only these
+    # shapes are ever extracted; anything else in a tarball is ignored.
+    _MEMBER_SUFFIXES = (".cert.json.gz", ".cert.json", ".json")
+
+    @classmethod
+    def _parse_member(cls, name: str) -> tuple[str, str] | None:
+        parts = name.split("/")
+        if len(parts) != 2:
+            return None
+        for suffix in cls._MEMBER_SUFFIXES:
+            if parts[1].endswith(suffix):
+                digest = parts[1][: -len(suffix)]
+                if _DIGEST_RE.match(digest) and parts[0] == digest[:2]:
+                    return digest, suffix
+                return None
+        return None
+
     def _import_archive_locked(self, archive_path: str) -> int:
         imported = 0
         with tarfile.open(archive_path, "r:gz") as tar:
             for member in tar.getmembers():
                 if not member.isfile():
                     continue
-                parts = member.name.split("/")
-                if len(parts) != 2 or not parts[1].endswith(".json"):
+                parsed = self._parse_member(member.name)
+                if parsed is None:
                     continue
-                digest = parts[1][: -len(".json")]
-                if not _DIGEST_RE.match(digest) or parts[0] != digest[:2]:
-                    continue
-                if self._find_entry_file(digest) is not None:
-                    continue
+                digest, suffix = parsed
+                is_cert = suffix != ".json"
+                if is_cert:
+                    if self._find_cert_file(digest) is not None:
+                        continue
+                else:
+                    if self._find_entry_file(digest) is not None:
+                        continue
                 handle = tar.extractfile(member)
                 if handle is None:
                     continue
                 payload = handle.read()
                 try:
-                    json.loads(payload)
-                except ValueError:
+                    raw = gzip.decompress(payload) if suffix.endswith(".gz") else payload
+                    json.loads(raw)
+                except (OSError, ValueError):
                     continue
-                target = self._entry_path(digest)
+                if is_cert:
+                    target = self._cert_path(digest) + (".gz" if suffix.endswith(".gz") else "")
+                else:
+                    target = self._entry_path(digest)
                 os.makedirs(os.path.dirname(target), exist_ok=True)
                 fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target), suffix=".tmp")
                 with os.fdopen(fd, "wb") as out:
                     out.write(payload)
                 os.replace(tmp, target)
-                imported += 1
+                if not is_cert:
+                    imported += 1
         return imported
 
 

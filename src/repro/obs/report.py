@@ -120,10 +120,44 @@ def render_report(doc: dict, top: int = 15) -> str:
     counters = obs.get("counters") or {}
     lines.append(f"\n== counters ({len(counters)}) ==")
     for name, value in sorted(counters.items()):
-        lines.append(f"  {name:<40} {value:>14}")
+        # Tolerant of schema drift: a counter that is not a plain number
+        # (older or newer artifact versions) renders as-is instead of
+        # killing the whole report.
+        shown = value if isinstance(value, (int, float)) else str(value)
+        lines.append(f"  {name:<40} {shown:>14}")
+
+    cert_line = _cert_summary(doc, counters)
+    if cert_line:
+        lines.append(f"\n{cert_line}")
     if obs.get("dropped_spans"):
         lines.append(f"\n({obs['dropped_spans']} spans dropped past the buffer cap)")
     return "\n".join(lines)
+
+
+def _cert_summary(doc: dict, counters: dict) -> str | None:
+    """One line on proof-certificate coverage, when anything in the
+    artifact mentions certificates.
+
+    Stores and artifacts are routinely mixed — entries written before
+    certificates existed next to certified ones, counters present in
+    one run and absent in the next — so every field here is optional
+    and type-checked; absence or junk means "no line", never a crash.
+    """
+    emitted = counters.get("solver.certs")
+    errors = counters.get("solver.cert_errors")
+    store = doc.get("store") if isinstance(doc.get("store"), dict) else {}
+    stored = store.get("certificates")
+    entries = store.get("entries")
+    parts = []
+    if isinstance(emitted, (int, float)):
+        parts.append(f"{int(emitted)} certificates emitted")
+    if isinstance(errors, (int, float)) and errors:
+        parts.append(f"{int(errors)} emission errors")
+    if isinstance(stored, (int, float)) and isinstance(entries, (int, float)):
+        parts.append(f"store holds {int(stored)}/{int(entries)} certified entries")
+    if not parts:
+        return None
+    return "certificates: " + ", ".join(parts) + " (audit: python -m repro.smt.checkproof --store)"
 
 
 def main(argv=None) -> int:

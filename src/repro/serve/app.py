@@ -19,7 +19,10 @@ Endpoints (all JSON)::
     GET  /jobs                  job summaries
     GET  /jobs/<id>             status + progress + verdict map
     GET  /jobs/<id>/verdicts    verdict records; ?since=N pages, ?wait_s=S
-                                long-polls until new verdicts land
+                                long-polls until new verdicts land,
+                                ?certs=1 inlines stored proof certificates
+    GET  /jobs/<id>/certificates  per-verdict proof certificates (null
+                                for records without a query digest)
     POST /jobs/<id>/cancel      cancel (queued obligations dropped,
                                 in-flight ones finish)
     GET  /healthz               liveness + pool/job counts
@@ -48,7 +51,7 @@ from .jobs import CANCELLED, DONE, FAILED, RUNNING, JobRegistry
 
 __all__ = ["VerificationServer", "ApiError"]
 
-_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/verdicts|/cancel)?$")
+_JOB_PATH = re.compile(r"^/jobs/([A-Za-z0-9_-]+)(/verdicts|/certificates|/cancel)?$")
 
 # Long-poll ceiling: clients asking for more still get a response (and
 # re-poll), so a dead client can never pin a handler thread for long.
@@ -433,6 +436,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, job.snapshot())
             elif match and method == "GET" and match.group(2) == "/verdicts":
                 self._get_verdicts(self._job_or_404(match.group(1)))
+            elif match and method == "GET" and match.group(2) == "/certificates":
+                self._get_certificates(self._job_or_404(match.group(1)))
             elif match and method == "POST" and match.group(2) == "/cancel":
                 job = self._job_or_404(match.group(1))
                 accepted = self.app.cancel(job)
@@ -447,6 +452,20 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - handler isolation boundary
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
+    def _record_certificate(self, record) -> dict | None:
+        """The stored proof certificate behind a verdict record, if the
+        record names a query digest and the store holds one.  Grid-job
+        records carry no digest (their verdicts aggregate many queries)
+        — those get None, as do legacy cert-less store entries."""
+        digest = None
+        if isinstance(record, dict):
+            stats = record.get("stats")
+            if isinstance(stats, dict):
+                digest = stats.get("digest")
+        if not isinstance(digest, str):
+            return None
+        return self.app.store.load_certificate(digest)
+
     def _get_verdicts(self, job) -> None:
         query = self._query()
         try:
@@ -456,6 +475,7 @@ class _Handler(BaseHTTPRequestHandler):
             raise ApiError(400, "since must be an integer, wait_s a number")
         if since < 0:
             raise ApiError(400, "since must be >= 0")
+        with_certs = query.get("certs") in ("1", "true")
         deadline = time.monotonic() + wait_s
         with job.cond:
             while (
@@ -466,6 +486,15 @@ class _Handler(BaseHTTPRequestHandler):
                 job.cond.wait(min(remaining, 1.0))
             records = list(job.verdicts[since:])
             state = job.state
+        if with_certs:
+            # Store reads happen outside the job lock: certificates can
+            # be large and the store is shared with running jobs.
+            records = [
+                dict(record, certificate=self._record_certificate(record))
+                if isinstance(record, dict)
+                else record
+                for record in records
+            ]
         self._send_json(
             200,
             {
@@ -474,6 +503,41 @@ class _Handler(BaseHTTPRequestHandler):
                 "since": since,
                 "next": since + len(records),
                 "verdicts": records,
+            },
+        )
+
+    def _get_certificates(self, job) -> None:
+        """Certificates for every verdict the job has produced so far.
+
+        One row per verdict record: ``{index, name, digest,
+        certificate}``.  ``certificate`` is null when the record has no
+        digest (grid jobs) or the store has no certificate for it —
+        callers feed the non-null ones to ``repro.smt.checkproof``.
+        """
+        with job.cond:
+            records = list(job.verdicts)
+            state = job.state
+        rows = []
+        for pos, record in enumerate(records):
+            if not isinstance(record, dict):
+                continue
+            stats = record.get("stats")
+            digest = stats.get("digest") if isinstance(stats, dict) else None
+            rows.append(
+                {
+                    "index": record.get("index", pos),
+                    "name": record.get("name"),
+                    "digest": digest if isinstance(digest, str) else None,
+                    "certificate": self._record_certificate(record),
+                }
+            )
+        self._send_json(
+            200,
+            {
+                "id": job.id,
+                "state": state,
+                "count": len(rows),
+                "certificates": rows,
             },
         )
 

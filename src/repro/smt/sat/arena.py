@@ -119,6 +119,11 @@ class ArenaSolver:
         self._assumed_count = 0
         # Cone restriction for the current solve: None = all variables.
         self._rel: set[int] | None = None
+        # Optional proof sink (repro.smt.proof.ProofLog).  None keeps
+        # the hot loop hook-free: every recording site guards on it.
+        self.proof = None
+        self._last_ants: list[int] = []
+        self._last_zeros: list[int] = []
 
     # -- variable / clause management --------------------------------------
 
@@ -142,8 +147,10 @@ class ArenaSolver:
         if not self._ok:
             return False
         self._backtrack(0)  # clauses are asserted at the root level
+        proof = self.proof
         seen = set()
         clause = []
+        falsified = []
         for lit in lits:
             self.ensure_vars(abs(lit))
             if -lit in seen:
@@ -154,16 +161,27 @@ class ArenaSolver:
             if val is True:
                 return True
             if val is False:
+                falsified.append(lit)
                 continue  # falsified at level 0; drop
             seen.add(lit)
             clause.append(lit)
         if not clause:
+            # Every literal already false at level 0: the input clause
+            # itself is the refutation's conflict.
+            if proof is not None:
+                proof.capture_add_conflict(falsified)
             self._ok = False
             return False
         self.added_clauses += 1
         if len(clause) == 1:
+            if proof is not None:
+                proof.input_unit(clause[0])
             self._enqueue(clause[0], -1)
-            self._ok = self._propagate() < 0
+            confl = self._propagate()
+            if confl >= 0:
+                if proof is not None:
+                    proof.capture_final(self, key=confl)
+                self._ok = False
             return self._ok
         off = self._store(clause)
         self._clause_offs.append(off)
@@ -394,8 +412,16 @@ class ArenaSolver:
         off = confl
         index = len(trail) - 1
         cur_level = len(self._trail_lim)
+        # Proof recording (cold path, only with a sink attached): the
+        # clauses this resolution consumes and the root-level-false
+        # literals it silently drops.
+        proof = self.proof
+        ants: list[int] | None = [] if proof is not None else None
+        zeros: set[int] | None = set() if proof is not None else None
         while True:
             if off >= 0:  # a decision has no reason clause to scan
+                if ants is not None:
+                    ants.append(off)
                 end = off + 1 + arena[off]
                 for k in range(off + 1, end):
                     q = arena[k]
@@ -409,6 +435,8 @@ class ArenaSolver:
                             counter += 1
                         else:
                             learned.append(q)
+                    elif zeros is not None and level[var] == 0:
+                        zeros.add(q)
             # Pick the next literal on the trail to resolve on.  Skip
             # seen literals below the conflict level: out-of-order
             # (chronologically kept) assignments can sit physically
@@ -451,7 +479,19 @@ class ArenaSolver:
                     break
             if not redundant:
                 minimized.append(q)
+            elif ants is not None:
+                # Self-subsuming resolution with the reason clause: the
+                # proof needs that clause and the units covering its
+                # root-level literals.
+                ants.append(roff)
+                for k in range(roff + 1, roff + 1 + arena[roff]):
+                    r = arena[k]
+                    if level[r if r > 0 else -r] == 0:
+                        zeros.add(r)
         learned = minimized
+        if ants is not None:
+            self._last_ants = ants
+            self._last_zeros = sorted(zeros)
 
         if len(learned) == 1:
             return learned, 0
@@ -519,12 +559,15 @@ class ArenaSolver:
         reason = self._reason
         locked = {reason[lit if lit > 0 else -lit] for lit in self._trail}
         kept_front = []
+        proof = self.proof
         for off in self._learned[:keep_from]:
             if off in locked or arena[off] <= 2:
                 kept_front.append(off)
                 continue
             self._detach(off)
             act.pop(off, None)
+            if proof is not None:
+                proof.deleted_clause(off)
         self._learned = kept_front + self._learned[keep_from:]
 
     def solve(
@@ -558,7 +601,13 @@ class ArenaSolver:
         self.conflict_literals = 0
         self.max_decision_level = 0
         if not self._ok:
+            # The root conflict that cleared _ok was captured when it
+            # happened; keep that final core for re-asked queries.
             return UNSAT
+        if self.proof is not None:
+            # Drop any stale final core so a missed hook can never leak
+            # a previous query's refutation into this one's certificate.
+            self.proof.final = None
         self._rel = relevant
         if relevant is not None:
             # History independence: a cone-restricted solve starts from
@@ -580,7 +629,10 @@ class ArenaSolver:
         timeout_s: float | None,
     ) -> str:
         self._backtrack(0)
-        if self._propagate() >= 0:
+        confl = self._propagate()
+        if confl >= 0:
+            if self.proof is not None:
+                self.proof.capture_final(self, key=confl)
             self._ok = False
             return UNSAT
         self._rebuild_order()
@@ -614,11 +666,16 @@ class ArenaSolver:
                 # level; analysis must run at the conflict's own level.
                 clevel = self._conflict_level(confl)
                 if clevel == 0:
+                    if self.proof is not None:
+                        self.proof.capture_final(self, key=confl)
                     self._ok = False
                     self._backtrack(0)
                     return UNSAT
                 if clevel <= num_assumed:
-                    # Conflict depends only on assumptions.
+                    # Conflict depends only on assumptions.  Capture the
+                    # reason chain before backtracking destroys it.
+                    if self.proof is not None:
+                        self.proof.capture_final(self, key=confl)
                     self._backtrack(0)
                     return UNSAT
                 if clevel < len(self._trail_lim):
@@ -637,9 +694,13 @@ class ArenaSolver:
                 if len(learned) == 1:
                     # Asserting unit; learned[0] is unassigned here
                     # because its variable sat above the backjump level.
+                    if self.proof is not None:
+                        self.proof.learned(learned, self._last_ants, self._last_zeros)
                     self._enqueue(learned[0], -1, level=bj)
                 else:
                     off = self._store(learned)
+                    if self.proof is not None:
+                        self.proof.learned(learned, self._last_ants, self._last_zeros, key=off)
                     self._learned.append(off)
                     self._cla_act[off] = self._cla_inc
                     self._cla_inc *= 1.001
@@ -664,6 +725,11 @@ class ArenaSolver:
                 lit = assumptions[len(self._trail_lim)]
                 val = self._value(lit)
                 if val is False:
+                    # An assumption literal is already falsified (by the
+                    # root level or by earlier assumptions): record its
+                    # reason chain before it unwinds.
+                    if self.proof is not None:
+                        self.proof.capture_final(self, lits=[lit])
                     self._backtrack(0)
                     return UNSAT
                 self._trail_lim.append(len(self._trail))
@@ -739,3 +805,20 @@ class ArenaSolver:
         arena = self._arena
         for off in self._clause_offs:
             yield list(arena[off + 1 : off + 1 + arena[off]])
+
+    # -- proof-log adapters --------------------------------------------------
+    # Arena offsets are stable clause keys for the whole session: the
+    # arena only ever appends, and a detached clause's cells are never
+    # reused, so certificate emission can read clause content long after
+    # the search moved on.
+
+    def proof_clause(self, key: int) -> list[int]:
+        """Clause content for a proof key (an arena offset)."""
+        arena = self._arena
+        return list(arena[key + 1 : key + 1 + arena[key]])
+
+    def proof_reason(self, var: int):
+        """Proof key of ``var``'s reason clause, or None for a
+        decision/assumption/learned-unit assignment."""
+        off = self._reason[var]
+        return off if off >= 0 else None

@@ -46,6 +46,7 @@ is rebuilt rather than reused.
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import tempfile
@@ -54,10 +55,11 @@ import time
 from ..obs import count as obs_count, enabled as _obs_enabled, span as obs_span
 from .bitblast import BitBlaster
 from .model import Model
+from .proof import CertificateError, ProofLog, build_model_certificate, build_unsat_certificate
 from .sat import new_solver
 from .sat.solver import SAT, UNKNOWN, UNSAT
 from .sorts import BOOL
-from .terms import Term, canonicalize_query, mk_bool
+from .terms import Term, canonicalize_nodes, mk_bool, serialize_terms
 
 __all__ = [
     "Solver",
@@ -68,10 +70,24 @@ __all__ = [
     "get_incremental_session",
     "reset_incremental_session",
     "incremental_enabled",
+    "certs_enabled",
     "SAT",
     "UNSAT",
     "UNKNOWN",
 ]
+
+
+def certs_enabled() -> bool:
+    """Whether cached checks also produce proof certificates.
+
+    On by default; ``REPRO_NO_CERTS=1`` opts out (the escape hatch when
+    cert emission overhead matters more than store trustworthiness).
+    Certificates are only assembled for cache-backed checks — the
+    digest is the storage key — so without a cache this flag only
+    controls whether the incremental session carries a proof log.  Read
+    per call so tests can flip the environment without reimporting.
+    """
+    return os.environ.get("REPRO_NO_CERTS", "") != "1"
 
 
 def incremental_enabled() -> bool:
@@ -93,6 +109,11 @@ class IncrementalSession:
 
     def __init__(self) -> None:
         self.sat = new_solver()
+        if certs_enabled():
+            # Attached before the first clause so input units are never
+            # missed; must be present from session birth because any
+            # later query's refutation may lean on clauses blasted now.
+            self.sat.proof = ProofLog()
         self.blaster = BitBlaster(self.sat)
         self.checks = 0
 
@@ -191,8 +212,61 @@ class SolverCache:
         self.misses = 0
         self.stores = 0
 
+    # Certificates above this size gzip to a fraction of it; below it
+    # the gzip header overhead is not worth a second file format.
+    CERT_GZIP_THRESHOLD = 32768
+
     def _entry_path(self, digest: str) -> str:
         return os.path.join(self.path, f"{digest}.json")
+
+    def _cert_path(self, digest: str) -> str:
+        """Base certificate path (without the optional ``.gz``)."""
+        return os.path.join(self.path, f"{digest}.cert.json")
+
+    def store_certificate(self, digest: str, cert: dict) -> None:
+        """Persist a certificate next to its verdict entry (atomic
+        write; large documents are gzipped)."""
+        data = json.dumps(cert, separators=(",", ":")).encode()
+        base = self._cert_path(digest)
+        target, stale = base, base + ".gz"
+        if len(data) >= self.CERT_GZIP_THRESHOLD:
+            # Level 1: these documents are short-lived cache siblings,
+            # and emission sits on the solve path — speed over ratio.
+            data = gzip.compress(data, 1)
+            target, stale = base + ".gz", base
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        # Two runs of the same digest may disagree on compression (the
+        # certificate is mode-dependent); never leave both variants.
+        try:
+            os.unlink(stale)
+        except OSError:
+            pass
+
+    def load_certificate(self, digest: str) -> dict | None:
+        """The stored certificate for ``digest``, or None (absent or
+        corrupt — cert-less entries are a supported legacy state)."""
+        base = self._cert_path(digest)
+        try:
+            with open(base, "rb") as handle:
+                return json.loads(handle.read().decode())
+        except (OSError, ValueError):
+            pass
+        try:
+            with open(base + ".gz", "rb") as handle:
+                return json.loads(gzip.decompress(handle.read()).decode())
+        except (OSError, ValueError):
+            return None
 
     def _read_entry(self, digest: str) -> dict | None:
         """Load the raw JSON entry for ``digest``, or None if absent or
@@ -262,12 +336,12 @@ class SolverCache:
             full = os.path.join(self.path, name)
             if os.path.isdir(full) and len(name) == 2:
                 for sub in os.listdir(full):
-                    if sub.endswith(".json"):
+                    if sub.endswith((".json", ".json.gz")):
                         try:
                             os.unlink(os.path.join(full, sub))
                         except OSError:
                             pass
-            elif name.endswith(".json"):
+            elif name.endswith((".json", ".json.gz")):
                 try:
                     os.unlink(full)
                 except OSError:
@@ -299,6 +373,9 @@ class Solver:
         self.timeout_s = timeout_s
         self.cache = cache
         self.last_stats: dict = {}
+        # Set per check(): the serialized node list behind the digest,
+        # reused by certificate emission to avoid a second traversal.
+        self._serialized_query: dict | None = None
 
     def add(self, *terms: Term) -> None:
         for t in terms:
@@ -335,7 +412,10 @@ class Solver:
         digest = var_map = None
         if self.cache is not None:
             with obs_span("canonicalize", cat="solver-cache") as cargs:
-                digest, var_map = canonicalize_query(terms)
+                # Serialize once: the node list feeds both the digest
+                # and (on a miss) the certificate's query payload.
+                self._serialized_query = serialize_terms(terms)
+                digest, var_map = canonicalize_nodes(self._serialized_query)
             if cargs is not None:
                 cargs["vars"] = len(var_map)
             with obs_span("cache.lookup", cat="solver-cache") as largs:
@@ -345,6 +425,8 @@ class Solver:
             if cached is not None:
                 obs_count("solver.cache.hits")
                 self.last_stats = dict(cached.stats)
+                self.last_stats["digest"] = digest
+                cached.stats["digest"] = digest
                 return cached
             obs_count("solver.cache.misses")
 
@@ -360,9 +442,48 @@ class Solver:
                 raise
         return self._check_fresh(terms, digest, var_map, start)
 
+    def _emit_certificate(
+        self, sat, blaster, terms, digest, var_map, status, model_values, assumptions, mode
+    ) -> None:
+        """Assemble and store this query's certificate (cache-backed
+        checks only).  Must run while the solver still holds the
+        answer's assignment — before any maintain()/backtrack."""
+        if digest is None or self.cache is None or sat.proof is None or not certs_enabled():
+            return
+        serialized = getattr(self, "_serialized_query", None)
+        # CPU time, not wall: with more workers than cores, wall inside
+        # this window counts the *other* workers' preemption as cert cost.
+        emit_start = time.process_time()
+        try:
+            with obs_span("cert.build", cat="solver-cache"):
+                if status == UNSAT:
+                    cert = build_unsat_certificate(
+                        sat, terms, digest, var_map, assumptions, mode, serialized
+                    )
+                elif status == SAT:
+                    cert = build_model_certificate(
+                        sat, blaster, terms, digest, var_map, model_values, mode, serialized
+                    )
+                else:
+                    return
+            self.cache.store_certificate(digest, cert)
+            obs_count("solver.certs")
+            # Emission seconds, accumulated as a float counter: the CI
+            # overhead gate divides this by the run's wall clock, which
+            # is immune to run-to-run wall noise in a two-run A/B.
+            obs_count("solver.cert_build_s", time.process_time() - emit_start)
+            self.last_stats["cert"] = True
+        except CertificateError:
+            # A cert we cannot assemble must never turn a sound verdict
+            # into a failure; the store audit surfaces the gap instead.
+            obs_count("solver.cert_errors")
+            self.last_stats["cert_error"] = True
+
     def _check_fresh(self, terms, digest, var_map, start) -> CheckResult:
         """One-shot path: fresh solver and blaster for this query."""
         sat = new_solver()
+        if digest is not None and certs_enabled():
+            sat.proof = ProofLog()
         blaster = BitBlaster(sat)
         with obs_span("bitblast", cat="bitblast") as bargs:
             for t in terms:
@@ -403,11 +524,17 @@ class Solver:
             "conflict_literals": sat.conflict_literals,
             "max_decision_level": sat.max_decision_level,
         }
+        if digest is not None:
+            self.last_stats["digest"] = digest
         if sat.timed_out or (self.timeout_s is not None and elapsed > self.timeout_s):
             self.last_stats["timed_out"] = True
             raise SolverTimeout(f"check exceeded {self.timeout_s}s (took {elapsed:.2f}s)")
+        model_values = blaster.extract_model() if status == SAT else None
+        self._emit_certificate(
+            sat, blaster, terms, digest, var_map, status, model_values, [], "fresh"
+        )
         if status == SAT:
-            result = CheckResult(SAT, Model(blaster.extract_model()), stats=self.last_stats)
+            result = CheckResult(SAT, Model(model_values), stats=self.last_stats)
         elif status == UNSAT:
             result = CheckResult(UNSAT, stats=self.last_stats)
         else:
@@ -492,13 +619,20 @@ class Solver:
             "conflict_literals": sat.conflict_literals,
             "max_decision_level": sat.max_decision_level,
         }
+        if digest is not None:
+            self.last_stats["digest"] = digest
         if sat.timed_out or (self.timeout_s is not None and elapsed > self.timeout_s):
             self.last_stats["timed_out"] = True
             raise SolverTimeout(f"check exceeded {self.timeout_s}s (took {elapsed:.2f}s)")
+        model_values = blaster.extract_model(names) if status == SAT else None
+        # Certificates read the live assignment (model bits) and the
+        # root-level trail (unit justifications), so they must be built
+        # before maintain() backtracks the session.
+        self._emit_certificate(
+            sat, blaster, terms, digest, var_map, status, model_values, roots, "incremental"
+        )
         if status == SAT:
-            result = CheckResult(
-                SAT, Model(blaster.extract_model(names)), stats=self.last_stats
-            )
+            result = CheckResult(SAT, Model(model_values), stats=self.last_stats)
         elif status == UNSAT:
             result = CheckResult(UNSAT, stats=self.last_stats)
         else:

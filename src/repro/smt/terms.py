@@ -1022,7 +1022,19 @@ def canonicalize_query(roots: Iterable[Term]) -> tuple[str, dict[str, str]]:
     {original_name: canonical_name})`` so cached models can be stored
     and replayed under canonical names.
     """
-    data = serialize_terms(roots)
+    return canonicalize_nodes(serialize_terms(roots))
+
+
+def canonicalize_nodes(data: dict) -> tuple[str, dict[str, str]]:
+    """:func:`canonicalize_query` over an already-serialized node list.
+
+    Split out so anything holding a portable query payload — proof
+    certificates bind their digest to one — can recompute the canonical
+    digest without rebuilding terms.  The standalone certificate
+    checker (``repro.smt.checkproof``) reimplements exactly this
+    function over the same ``[op, sort_tag, arg_idxs, payload]`` node
+    schema; the two must stay in lockstep.
+    """
     nodes = data["nodes"]
 
     # Pass 1 (bottom-up): variable-blind shape key per node.  Children

@@ -136,7 +136,7 @@ class TestCounters:
         assert col.counters["solver.cache.misses"] == 1
         assert col.counters["solver.cache.hits"] == 1
         cache_spans = [e for e in col.spans if e.cat == "solver-cache"]
-        assert {e.name for e in cache_spans} == {"canonicalize", "cache.lookup"}
+        assert {e.name for e in cache_spans} == {"canonicalize", "cache.lookup", "cert.build"}
 
 
 class TestWorkerReassembly:

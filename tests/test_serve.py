@@ -270,3 +270,46 @@ class TestWireFormat:
         assert back.name == "ob0" and back.status == "proved"
         with pytest.raises(ValueError):
             ObligationResult.from_json({"name": "ob0", "status": "banana"})
+
+
+class TestCertificateEndpoints:
+    def test_certificates_per_verdict(self, server, client):
+        """Every cache-backed verdict exposes its stored proof
+        certificate, bound to the record's query digest."""
+        job_id = client.submit_obligations(_batch(), jobs=2)["id"]
+        assert client.wait(job_id, timeout_s=120)["state"] == "done"
+
+        doc = client._request("GET", f"/jobs/{job_id}/certificates")
+        rows = doc["certificates"]
+        assert doc["count"] == len(rows) == 6
+        certified = [row for row in rows if row["certificate"] is not None]
+        assert certified, "no verdict carried a certificate"
+        for row in certified:
+            assert row["certificate"]["digest"] == row["digest"]
+            assert row["certificate"]["kind"] in ("drat", "model")
+
+    def test_verdicts_certs_flag_inlines_certificates(self, server, client):
+        job_id = client.submit_obligations(_batch(), jobs=2)["id"]
+        assert client.wait(job_id, timeout_s=120)["state"] == "done"
+
+        plain = client.verdicts(job_id)["verdicts"]
+        assert all("certificate" not in r for r in plain)
+        with_certs = client._request("GET", f"/jobs/{job_id}/verdicts?certs=1")["verdicts"]
+        assert len(with_certs) == len(plain)
+        assert any(r["certificate"] is not None for r in with_certs)
+        for record in with_certs:
+            cert = record["certificate"]
+            if cert is not None:
+                assert cert["digest"] == record["stats"]["digest"]
+
+    def test_grid_job_certificates_are_null_rows(self, server, client):
+        """Grid-job records aggregate many queries and carry no digest;
+        the endpoint answers with null certificates, not an error."""
+        job = client._request(
+            "POST", "/jobs", {"kind": "grid", "grid": "fig11-quick", "jobs": 2}
+        )
+        assert client.wait(job["id"], timeout_s=300)["state"] == "done"
+        doc = client._request("GET", f"/jobs/{job['id']}/certificates")
+        assert doc["count"] == len(GRIDS["fig11-quick"])
+        assert all(row["certificate"] is None for row in doc["certificates"])
+        assert all(row["digest"] is None for row in doc["certificates"])
