@@ -7,6 +7,7 @@ Usage: check_bench.py CURRENT.json BASELINE.json
            [--max-throughput-drop 0.25] [--min-speedup 2.0]
        check_bench.py --certs BENCH_with_certs.json BENCH_no_certs.json
            [--max-cert-overhead 0.10]
+       check_bench.py --remote BENCH_remote.json [--min-hit-rate 0.9]
 
 Default mode fails (nonzero exit) when the current quick-grid artifact
 regresses past the committed ``BENCH_baseline.json``:
@@ -38,6 +39,19 @@ stay within ``--max-cert-overhead`` (default 10%) of the cert-less
 run, so "every verdict ships a checkable proof" never becomes a tax
 anyone is tempted to switch off (the escape hatch exists regardless:
 ``REPRO_NO_CERTS=1``, documented in docs/CERTIFICATES.md).
+
+``--remote`` mode gates the two-process shared-store artifact written
+by ``scripts/load_serve.py --remote`` — no committed baseline, the
+thresholds are absolute:
+
+  * the cold client fleet (empty local store, warm remote) must reach
+    ``--min-hit-rate`` (default 90%) combined cache hit rate, with
+    ``store.remote.hits > 0`` proving the hits actually crossed the
+    wire and ``rejected_certs == 0`` proving every adopted verdict
+    carried a checkable certificate;
+  * the degraded phase (store server killed) must still finish
+    ``done`` with the same verdict map and ``store.remote.errors > 0``
+    — the outage was real and it never escaped into a solve.
 """
 
 import argparse
@@ -150,10 +164,80 @@ def check_certs(current: dict, baseline: dict, args) -> int:
     return 0
 
 
+def check_remote(current: dict, args) -> int:
+    """Gate the two-process shared-store artifact (see module
+    docstring).  Absolute thresholds, no baseline artifact."""
+    failures = []
+    for phase in ("warm", "cold", "degraded"):
+        if not isinstance(current.get(phase), dict):
+            print(
+                f"FAIL: artifact has no {phase} phase — generate it with "
+                "scripts/load_serve.py --remote",
+                file=sys.stderr,
+            )
+            return 3
+
+    cold = current["cold"]
+    hit_rate = cold.get("hit_rate", 0.0)
+    print(
+        f"cold fleet hit rate: {hit_rate:.1%} "
+        f"({cold.get('cache_hits', 0)}/{cold.get('cache_queries', 0)}, "
+        f"need >= {args.min_hit_rate:.0%})"
+    )
+    if hit_rate < args.min_hit_rate:
+        failures.append(
+            f"cold fleet hit rate {hit_rate:.1%} below {args.min_hit_rate:.0%} — "
+            "the shared store is not answering the fleet's queries"
+        )
+    remote_hits = cold.get("remote_hits", 0)
+    print(f"cold store.remote.hits: {remote_hits} (need > 0)")
+    if remote_hits <= 0:
+        failures.append(
+            "cold phase counted no store.remote.hits — the 'hits' never "
+            "crossed the wire, so the topology gate is vacuous"
+        )
+    rejected = cold.get("rejected_certs", 0)
+    if rejected:
+        failures.append(
+            f"cold phase rejected {rejected} remote certificates — the warm "
+            "fleet pushed verdicts whose proofs do not check"
+        )
+
+    degraded = current["degraded"]
+    print(
+        f"degraded phase: state={degraded.get('state')} "
+        f"verdicts_equal={degraded.get('verdicts_equal')} "
+        f"remote_errors={degraded.get('remote_errors', 0)}"
+    )
+    if degraded.get("state") != "done":
+        failures.append(
+            f"degraded job finished {degraded.get('state')!r}, expected done — "
+            "a dead store server must not take the fleet down"
+        )
+    if not degraded.get("verdicts_equal"):
+        failures.append("degraded phase verdicts diverged from the warm phase")
+    if degraded.get("remote_errors", 0) <= 0:
+        failures.append(
+            "degraded phase counted no store.remote.errors — the outage was "
+            "never exercised"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("remote store gate holds")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="fresh BENCH_fig11.json from this run")
-    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument(
+        "baseline",
+        nargs="?",
+        help="committed BENCH_baseline.json (not used by --remote)",
+    )
     parser.add_argument("--max-wall-regression", type=float, default=0.25)
     parser.add_argument("--max-prop-growth", type=float, default=0.10)
     parser.add_argument(
@@ -170,9 +254,21 @@ def main() -> int:
         "BASELINE with REPRO_NO_CERTS=1",
     )
     parser.add_argument("--max-cert-overhead", type=float, default=0.10)
+    parser.add_argument(
+        "--remote",
+        action="store_true",
+        help="gate a BENCH_remote.json shared-store artifact (absolute "
+        "thresholds, no baseline argument)",
+    )
+    parser.add_argument("--min-hit-rate", type=float, default=0.90)
     args = parser.parse_args()
 
     current = _load(args.current)
+    if args.remote:
+        return check_remote(current, args)
+
+    if args.baseline is None:
+        parser.error("baseline artifact is required outside --remote mode")
     baseline = _load(args.baseline)
 
     if args.serve:

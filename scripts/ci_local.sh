@@ -90,6 +90,16 @@ run_job serve-load python scripts/load_serve.py \
 run_job serve-perf-gate python scripts/check_bench.py --serve \
     "$tmp/BENCH_serve.json" BENCH_serve_baseline.json
 
+# -- store-remote ----------------------------------------------------
+# Distributed store: fault-injection suite, then the two-process
+# topology (store server + cold client daemons) gated on >= 90% cold
+# hit rate and clean degradation when the server is killed.
+run_job store-remote-tests python -m pytest -x -q tests/test_remote_store.py
+run_job store-remote-topology python scripts/load_serve.py \
+    --remote --out "$tmp/BENCH_remote.json"
+run_job store-remote-gate python scripts/check_bench.py \
+    --remote "$tmp/BENCH_remote.json"
+
 echo
 if [ "$failures" -gt 0 ]; then
     echo "ci_local: $failures job(s) failed"

@@ -55,16 +55,24 @@ def _percentile(values, q):
     return ordered[index]
 
 
-class DaemonProcess:
-    """A ``python -m repro.serve`` child on an ephemeral port."""
+class _AnnouncingProcess:
+    """A child process that announces its URL on stdout."""
 
-    def __init__(self, store_dir: str):
+    ANNOUNCE = "serving on "
+
+    @staticmethod
+    def argv(store_dir: str) -> list:
+        raise NotImplementedError
+
+    def __init__(self, store_dir: str, extra_env: dict | None = None):
         env = dict(os.environ)
         env["PYTHONPATH"] = os.pathsep.join(
             p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
         )
+        if extra_env:
+            env.update(extra_env)
         self.process = subprocess.Popen(
-            [sys.executable, "-m", "repro.serve", "--port", "0", "--store", store_dir],
+            [sys.executable, *self.argv(store_dir)],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -77,12 +85,14 @@ class DaemonProcess:
             line = self.process.stdout.readline()
             if not line:
                 break
-            if line.startswith("serving on "):
-                self.url = line.split("serving on ", 1)[1].strip()
+            if line.startswith(self.ANNOUNCE):
+                self.url = line.split(self.ANNOUNCE, 1)[1].strip()
                 break
         if self.url is None:
             self.stop()
-            raise RuntimeError("daemon did not announce its address within 60s")
+            raise RuntimeError(
+                f"{type(self).__name__} did not announce its address within 60s"
+            )
         # Drain further output so the child never blocks on a full pipe.
         threading.Thread(
             target=lambda: [None for _ in self.process.stdout], daemon=True
@@ -96,6 +106,27 @@ class DaemonProcess:
             except subprocess.TimeoutExpired:
                 self.process.kill()
                 self.process.wait()
+
+
+class DaemonProcess(_AnnouncingProcess):
+    """A ``python -m repro.serve`` child on an ephemeral port."""
+
+    ANNOUNCE = "serving on "
+
+    @staticmethod
+    def argv(store_dir: str) -> list:
+        return ["-m", "repro.serve", "--port", "0", "--store", store_dir]
+
+
+class StoreServerProcess(_AnnouncingProcess):
+    """A ``python -m repro.core.store serve`` child (the shared store
+    in the two-process topology)."""
+
+    ANNOUNCE = "store serving on "
+
+    @staticmethod
+    def argv(store_dir: str) -> list:
+        return ["-m", "repro.core.store", "--store", store_dir, "serve", "--port", "0"]
 
 
 def _drive_job(client, grid, opt, timeout_s):
@@ -130,6 +161,170 @@ def _sequential_reference(grid, opt):
     return verdicts
 
 
+def run_remote(args) -> int:
+    """Two-process shared-store topology (``--remote``).
+
+    One store server process holds the fleet's verdicts; daemon
+    processes (with ``REPRO_REMOTE_STORE`` pointing at it) play the
+    fleet.  Three phases:
+
+      1. **warm** — a daemon on an empty local store proves the grid
+         and writes back through the spool (any backlog is pushed with
+         the ``store flush`` CLI after the daemon exits);
+      2. **cold** — a fresh daemon on an *empty* local store re-proves
+         the grid: nearly every query should be answered by the remote
+         (the ≥90% combined hit-rate gate), every adopted verdict
+         carrying a certificate that passes an independent
+         ``checkproof --require-certs`` audit;
+      3. **degraded** — the store server is killed and another cold
+         daemon runs the grid: it must finish ``done`` with identical
+         verdicts, remote errors counted, never raised.
+
+    Writes ``BENCH_remote.json`` for ``check_bench.py --remote``.
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.serve.client import ServeClient
+
+    failures = []
+    tmp = tempfile.TemporaryDirectory(prefix="repro-remote-load-")
+    server_store = os.path.join(tmp.name, "server-store")
+    print(f"booting store server (store: {server_store}) ...")
+    store_server = StoreServerProcess(server_store)
+    print(f"store server: {store_server.url}")
+    remote_env = {
+        "REPRO_REMOTE_STORE": store_server.url,
+        "REPRO_REMOTE_TIMEOUT_S": "10",
+        "REPRO_REMOTE_BACKOFF_S": "0.5",
+    }
+    artifact = {"grid": args.grid, "opt": args.opt, "store_server": store_server.url}
+
+    def grid_phase(label, local_store, extra_env):
+        daemon = DaemonProcess(local_store, extra_env=extra_env)
+        try:
+            client = ServeClient(daemon.url, timeout_s=args.job_timeout)
+            start = time.perf_counter()
+            latency, final = _drive_job(client, args.grid, args.opt, args.job_timeout)
+            wall = time.perf_counter() - start
+            phase = _phase_summary(wall, [final], [latency])
+            phase["state"] = final["state"]
+            verdicts = client.verdict_map(final["id"])
+            counters = ((client.metrics().get("obs") or {}).get("counters") or {})
+            phase["remote_hits"] = counters.get("store.remote.hits", 0)
+            phase["remote_errors"] = counters.get("store.remote.errors", 0)
+            phase["rejected_certs"] = counters.get("store.remote.rejected_certs", 0)
+            queries, hits = phase["cache_queries"], phase["cache_hits"]
+            phase["hit_rate"] = hits / queries if queries else 0.0
+            print(
+                f"{label}: state={phase['state']} "
+                f"cache {hits}/{queries} ({phase['hit_rate']:.0%}), "
+                f"remote hits={phase['remote_hits']} "
+                f"errors={phase['remote_errors']} "
+                f"rejected={phase['rejected_certs']}"
+            )
+            return phase, verdicts
+        finally:
+            daemon.stop()
+
+    def run_cli(label, argv):
+        proc = subprocess.run(
+            [sys.executable, *argv],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={
+                **os.environ,
+                "PYTHONPATH": os.pathsep.join(
+                    p
+                    for p in (os.path.join(REPO_ROOT, "src"), os.environ.get("PYTHONPATH"))
+                    if p
+                ),
+            },
+        )
+        if proc.stdout.strip():
+            print(proc.stdout.strip())
+        if proc.returncode != 0:
+            failures.append(
+                f"{label} exited {proc.returncode}: {proc.stderr.strip()[-500:]}"
+            )
+        return proc.returncode
+
+    try:
+        # -- phase 1: warm the shared store ------------------------------
+        warm_store = os.path.join(tmp.name, "warm-store")
+        warm, warm_verdicts = grid_phase("warm", warm_store, remote_env)
+        if warm["state"] != "done":
+            failures.append(f"warm job finished {warm['state']}, expected done")
+        # Push whatever the background flusher had not drained when the
+        # daemon exited, then confirm the server actually holds verdicts.
+        run_cli(
+            "store flush",
+            ["-m", "repro.core.store", "--store", warm_store, "flush",
+             "--remote", store_server.url],
+        )
+        import urllib.request
+
+        with urllib.request.urlopen(
+            f"{store_server.url}/store/index", timeout=10
+        ) as reply:
+            server_entries = json.load(reply).get("entries", 0)
+        warm["server_entries"] = server_entries
+        print(f"store server holds {server_entries} entries after warm+flush")
+        if server_entries == 0:
+            failures.append("store server is empty after the warm phase + flush")
+        artifact["warm"] = warm
+
+        # -- phase 2: cold client fleet against the warm store -----------
+        cold_store = os.path.join(tmp.name, "cold-store")
+        cold, cold_verdicts = grid_phase("cold", cold_store, remote_env)
+        if cold["state"] != "done":
+            failures.append(f"cold job finished {cold['state']}, expected done")
+        if cold_verdicts != warm_verdicts:
+            failures.append(
+                f"verdict divergence cold vs warm: {cold_verdicts} != {warm_verdicts}"
+            )
+        artifact["cold"] = cold
+        # Every remotely adopted verdict must carry a checkable proof.
+        run_cli(
+            "checkproof audit",
+            ["-m", "repro.smt.checkproof", "--store", cold_store, "--require-certs"],
+        )
+
+        # -- phase 3: kill the store server mid-fleet --------------------
+        store_server.stop()
+        print("store server killed; degraded phase ...")
+        degraded_store = os.path.join(tmp.name, "degraded-store")
+        degraded, degraded_verdicts = grid_phase("degraded", degraded_store, remote_env)
+        degraded["verdicts_equal"] = degraded_verdicts == warm_verdicts
+        if degraded["state"] != "done":
+            failures.append(f"degraded job finished {degraded['state']}, expected done")
+        if not degraded["verdicts_equal"]:
+            failures.append(
+                f"verdict divergence degraded vs warm: "
+                f"{degraded_verdicts} != {warm_verdicts}"
+            )
+        if degraded["remote_errors"] == 0:
+            failures.append(
+                "degraded phase counted no store.remote.errors — the dead "
+                "remote was never consulted, so degradation went untested"
+            )
+        artifact["degraded"] = degraded
+        artifact["verdicts"] = warm_verdicts
+
+        with open(args.out, "w") as handle:
+            json.dump(artifact, handle, indent=2)
+        print(f"wrote {os.path.abspath(args.out)}")
+    finally:
+        store_server.stop()
+        tmp.cleanup()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("load_serve --remote: all checks passed")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--clients", type=int, default=8, help="concurrent clients (default 8)")
@@ -151,7 +346,16 @@ def main() -> int:
         action="store_true",
         help="skip the in-process sequential verdict reference (faster)",
     )
+    parser.add_argument(
+        "--remote",
+        action="store_true",
+        help="two-process topology: a store server plus cold client "
+        "daemons reading through it (writes BENCH_remote.json shape)",
+    )
     args = parser.parse_args()
+
+    if args.remote:
+        return run_remote(args)
 
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     from repro.serve.client import ServeClient

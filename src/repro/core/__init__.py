@@ -53,7 +53,10 @@ from .symopt import (
     split_cases_value,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")] + ["VerdictStore"]
+__all__ = [name for name in dir() if not name.startswith("_")] + [
+    "VerdictStore",
+    "open_store",
+]
 
 
 def __getattr__(name):
@@ -63,4 +66,8 @@ def __getattr__(name):
         from .store import VerdictStore
 
         return VerdictStore
+    if name == "open_store":
+        from .store import open_store
+
+        return open_store
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,827 @@
+"""Distributed verdict store: HTTP object store + remote cache tier.
+
+This module turns the content-addressed :class:`~repro.core.store.
+VerdictStore` into a *networked* object store, so CI fleets and
+developer machines converge on one global store instead of handing
+tar.gz archives around:
+
+  * :class:`StoreAPI` / :class:`StoreServer` — a stdlib-only HTTP
+    server speaking the store's own sharded ``<digest[:2]>/<digest>.
+    json`` (+ ``.cert.json[.gz]``) layout: ``GET/PUT/HEAD`` per digest,
+    a batch ``POST /store/manifest`` endpoint, and ``ETag``-on-digest
+    so writes are idempotent (the digest *is* the content address —
+    a PUT of an existing digest is a no-op success, first writer wins,
+    exactly like a local bulk import).  Served standalone via
+    ``python -m repro.core.store serve`` or mounted into the
+    verification daemon (``repro.serve``) under ``/store/``.
+  * :class:`RemoteStoreClient` — a urllib wrapper that converts every
+    network failure (refused, timeout, truncated body, 5xx) into one
+    exception type, :class:`RemoteUnavailable`.
+  * :class:`RemoteVerdictStore` — the read-through/write-back tier the
+    solver cache actually talks to.  A local hit stays untouched; a
+    local miss consults the remote, verifies the fetched certificate
+    with the independent ``repro.smt.checkproof`` checker *before*
+    adoption (``REPRO_REMOTE_VERIFY_CERTS=0`` skips), and adopts the
+    entry into the local store so the next process hits locally.
+    Writes land locally first, then spool (``.remote-spool/`` marker
+    files) and flush asynchronously with bounded retry/backoff.
+
+Trust model: certificates are why a store populated by machines we do
+not control can be adopted at all — a remotely fetched UNSAT verdict
+must come with a RUP-checkable clause proof, a SAT verdict with a
+replayable model, both digest-bound to the query (docs/CERTIFICATES.md).
+A fetch whose certificate is missing, malformed, mismatched, or simply
+wrong is *rejected* (counted as ``store.remote.rejected_certs``) and
+the query is solved locally as if the remote had missed.
+
+Failure model: the remote tier degrades, never breaks.  Every remote
+operation is wrapped so :class:`RemoteUnavailable` is counted
+(``store.remote.errors``) and absorbed — no network failure ever
+surfaces inside a solve.  After a failure a per-process circuit
+breaker skips the remote for ``REPRO_REMOTE_BACKOFF_S`` seconds so a
+dead server costs one timeout, not one per query.
+
+Knobs (read per call so tests can flip them):
+
+  * ``REPRO_REMOTE_STORE``        — base URL; empty disables the tier.
+  * ``REPRO_REMOTE_VERIFY_CERTS`` — ``0`` adopts fetched entries
+    without certificate verification (trusted-network mode).
+  * ``REPRO_REMOTE_TIMEOUT_S``    — per-request timeout (default 5).
+  * ``REPRO_REMOTE_BACKOFF_S``    — circuit-breaker cool-down after a
+    network failure (default 30).
+"""
+
+from __future__ import annotations
+
+import gzip
+import http.client
+import json
+import os
+import re
+import socket
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..obs import count as obs_count
+from .store import _DIGEST_RE, VerdictStore
+
+__all__ = [
+    "RemoteUnavailable",
+    "RemoteStoreClient",
+    "RemoteVerdictStore",
+    "StoreAPI",
+    "StoreServer",
+    "remote_store_url",
+    "remote_verify_certs",
+    "remote_timeout_s",
+    "remote_backoff_s",
+]
+
+
+# ---------------------------------------------------------------------------
+# Knobs
+
+
+def remote_store_url() -> str:
+    """Base URL of the remote store (``REPRO_REMOTE_STORE``), or ''."""
+    return os.environ.get("REPRO_REMOTE_STORE", "").strip().rstrip("/")
+
+
+def remote_verify_certs() -> bool:
+    """Whether fetched entries need a checkable certificate to be
+    adopted (default on; ``REPRO_REMOTE_VERIFY_CERTS=0`` opts out)."""
+    return os.environ.get("REPRO_REMOTE_VERIFY_CERTS", "1") != "0"
+
+
+def remote_timeout_s() -> float:
+    """Per-request network timeout (``REPRO_REMOTE_TIMEOUT_S``, default 5)."""
+    try:
+        return float(os.environ.get("REPRO_REMOTE_TIMEOUT_S", "5"))
+    except ValueError:
+        return 5.0
+
+
+def remote_backoff_s() -> float:
+    """Circuit-breaker cool-down after a network failure
+    (``REPRO_REMOTE_BACKOFF_S``, default 30)."""
+    try:
+        return float(os.environ.get("REPRO_REMOTE_BACKOFF_S", "30"))
+    except ValueError:
+        return 30.0
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker (per process, per URL)
+
+_BREAKER_LOCK = threading.Lock()
+_DOWN_UNTIL: dict[str, float] = {}
+
+
+def _remote_down(url: str) -> bool:
+    with _BREAKER_LOCK:
+        return time.monotonic() < _DOWN_UNTIL.get(url, 0.0)
+
+
+def _mark_remote_down(url: str) -> None:
+    with _BREAKER_LOCK:
+        _DOWN_UNTIL[url] = time.monotonic() + remote_backoff_s()
+
+
+def _mark_remote_up(url: str) -> None:
+    with _BREAKER_LOCK:
+        _DOWN_UNTIL.pop(url, None)
+
+
+def _reset_breakers() -> None:
+    """Forget every open breaker (test isolation helper)."""
+    with _BREAKER_LOCK:
+        _DOWN_UNTIL.clear()
+
+
+# ---------------------------------------------------------------------------
+# Client
+
+
+class RemoteUnavailable(RuntimeError):
+    """The remote store could not serve a request: connection refused,
+    timeout, truncated reply, or a server-side error.  Callers on the
+    solve path count it and degrade to local-only — it is never raised
+    into a solve."""
+
+
+# Everything urllib can throw for a dead/misbehaving peer.  OSError
+# covers ConnectionError and socket-level failures; HTTPException
+# covers truncated bodies (IncompleteRead) and protocol garbage.
+_NETWORK_ERRORS = (
+    urllib.error.URLError,
+    http.client.HTTPException,
+    socket.timeout,
+    TimeoutError,
+    OSError,
+)
+
+
+class RemoteStoreClient:
+    """Stdlib HTTP client for the store protocol.
+
+    One connection per call (like :class:`~repro.serve.client.
+    ServeClient`), so instances are trivially thread- and fork-safe.
+    All failures surface as :class:`RemoteUnavailable`; a 404 is a
+    *miss*, returned as None — the one outcome that is not an error.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float | None = None):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _timeout(self) -> float:
+        return self.timeout_s if self.timeout_s is not None else remote_timeout_s()
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, method=method, headers=headers
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout()) as reply:
+                return reply.status, reply.read()
+        except urllib.error.HTTPError as exc:
+            if exc.code == 404:
+                return 404, b""
+            raise RemoteUnavailable(f"{method} {path}: HTTP {exc.code}") from None
+        except _NETWORK_ERRORS as exc:
+            raise RemoteUnavailable(f"{method} {path}: {exc}") from None
+
+    # -- entries ---------------------------------------------------------
+
+    def head_entry(self, digest: str) -> bool:
+        """Whether the remote holds an entry for ``digest``."""
+        status, _ = self._request("HEAD", f"/store/{digest}")
+        return status == 200
+
+    def get_entry(self, digest: str) -> bytes | None:
+        """Raw entry bytes for ``digest``, or None on a remote miss."""
+        status, payload = self._request("GET", f"/store/{digest}")
+        return payload if status == 200 else None
+
+    def put_entry(self, digest: str, raw: bytes) -> bool:
+        """Idempotent upload; True when the remote created the entry
+        (False: it already held one — first writer wins)."""
+        status, _ = self._request("PUT", f"/store/{digest}", raw)
+        return status == 201
+
+    # -- certificates ----------------------------------------------------
+
+    def get_cert(self, digest: str) -> bytes | None:
+        """Raw certificate JSON for ``digest``, or None if the remote
+        has none (a legal legacy state)."""
+        status, payload = self._request("GET", f"/store/{digest}/cert")
+        return payload if status == 200 else None
+
+    def put_cert(self, digest: str, raw: bytes) -> bool:
+        """Idempotent certificate upload (same semantics as entries)."""
+        status, _ = self._request("PUT", f"/store/{digest}/cert", raw)
+        return status == 201
+
+    # -- batch / monitoring ----------------------------------------------
+
+    def manifest(self, digests: list[str]) -> dict:
+        """Presence map for a batch of digests:
+        ``{"entries": {digest: bool}, "certs": {digest: bool}}``."""
+        body = json.dumps({"digests": list(digests)}).encode()
+        status, payload = self._request("POST", "/store/manifest", body)
+        if status != 200:
+            raise RemoteUnavailable(f"manifest: HTTP {status}")
+        try:
+            return json.loads(payload)
+        except ValueError as exc:
+            raise RemoteUnavailable(f"manifest: corrupt reply: {exc}") from None
+
+    def index(self) -> dict:
+        """The remote's summary document (entry counts, bytes, spool)."""
+        status, payload = self._request("GET", "/store/index")
+        if status != 200:
+            raise RemoteUnavailable(f"index: HTTP {status}")
+        try:
+            return json.loads(payload)
+        except ValueError as exc:
+            raise RemoteUnavailable(f"index: corrupt reply: {exc}") from None
+
+    def healthz(self) -> dict:
+        """Liveness document; raises :class:`RemoteUnavailable` when down."""
+        status, payload = self._request("GET", "/store/healthz")
+        if status != 200:
+            raise RemoteUnavailable(f"healthz: HTTP {status}")
+        try:
+            return json.loads(payload)
+        except ValueError as exc:
+            raise RemoteUnavailable(f"healthz: corrupt reply: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# Server-side protocol handler (shared by StoreServer and repro.serve)
+
+_STORE_PATH = re.compile(r"^/([0-9a-f]{16,64})(/cert)?$")
+
+
+class StoreAPI:
+    """Pure request handler over a :class:`VerdictStore`.
+
+    Maps ``(method, path, body)`` to ``(status, payload, content_type,
+    headers)`` with no HTTP plumbing of its own, so the standalone
+    :class:`StoreServer` and the ``/store/`` mount inside the
+    verification daemon serve byte-identical replies.
+
+    Protocol (paths are absolute, ``/store``-prefixed)::
+
+        GET  /store/healthz      liveness + entry/request counts
+        GET  /store/index        summary (entries, bytes, spool backlog)
+        POST /store/manifest     {"digests": [...]} -> presence map
+        HEAD /store/<digest>     200/404, ETag: "<digest>"
+        GET  /store/<digest>     raw entry JSON, ETag: "<digest>"
+        PUT  /store/<digest>     idempotent write; 201 created / 200 held
+        GET  /store/<digest>/cert   certificate JSON (gzip transparent)
+        PUT  /store/<digest>/cert   idempotent certificate write
+
+    Writes validate shape (entries must be JSON objects with a
+    ``sat``/``unsat`` status, certificates JSON objects) but do *not*
+    re-check proofs — verification is the adopting client's job, which
+    is what lets an untrusted server be useful at all.
+    """
+
+    MAX_BODY = 64 * 1024 * 1024
+
+    def __init__(self, store: VerdictStore):
+        self.store = store
+        self.started_t = time.time()
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.gets = 0
+        self.puts = 0
+        self.put_conflicts = 0
+
+    # -- plumbing --------------------------------------------------------
+
+    @staticmethod
+    def _json(status: int, doc: dict, headers: dict | None = None):
+        return status, json.dumps(doc).encode(), "application/json", headers or {}
+
+    def _error(self, status: int, message: str):
+        return self._json(status, {"error": message})
+
+    def counters(self) -> dict:
+        """Request counters for /metrics and healthz documents."""
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "gets": self.gets,
+                "puts": self.puts,
+                "put_conflicts": self.put_conflicts,
+            }
+
+    # -- reads -----------------------------------------------------------
+
+    def _entry_bytes(self, digest: str) -> bytes | None:
+        fname = self.store._find_entry_file(digest)
+        if fname is None:
+            return None
+        try:
+            with open(fname, "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None  # vanished mid-request (concurrent gc)
+
+    def _cert_bytes(self, digest: str) -> bytes | None:
+        fname = self.store._find_cert_file(digest)
+        if fname is None:
+            return None
+        try:
+            with open(fname, "rb") as handle:
+                raw = handle.read()
+            return gzip.decompress(raw) if fname.endswith(".gz") else raw
+        except (OSError, ValueError):
+            return None
+
+    # -- dispatch --------------------------------------------------------
+
+    def handle(self, method: str, path: str, body: bytes | None):
+        """Serve one request; returns ``(status, payload, content_type,
+        headers)``.  Never raises — protocol errors become 4xx JSON."""
+        with self._lock:
+            self.requests += 1
+        sub = path[len("/store"):] if path.startswith("/store") else path
+        if method == "GET" and sub in ("", "/", "/healthz"):
+            return self._json(
+                200,
+                {
+                    "ok": True,
+                    "uptime_s": time.time() - self.started_t,
+                    "entries": len(self.store.digests()),
+                    "spool_pending": len(self.store.spool_pending()),
+                    **self.counters(),
+                },
+            )
+        if method == "GET" and sub == "/index":
+            doc = self.store.summary()
+            doc["spool_pending"] = len(self.store.spool_pending())
+            return self._json(200, doc)
+        if method == "POST" and sub == "/manifest":
+            return self._manifest(body)
+        match = _STORE_PATH.match(sub)
+        if match is None:
+            return self._error(404, f"no store route for {method} {path}")
+        digest, is_cert = match.group(1), match.group(2) is not None
+        if not _DIGEST_RE.match(digest):
+            return self._error(404, f"malformed digest {digest!r}")
+        if method in ("GET", "HEAD"):
+            with self._lock:
+                self.gets += 1
+            payload = self._cert_bytes(digest) if is_cert else self._entry_bytes(digest)
+            if payload is None:
+                kind = "certificate" if is_cert else "entry"
+                return self._error(404, f"no {kind} for {digest}")
+            return 200, payload, "application/json", {"ETag": f'"{digest}"'}
+        if method == "PUT":
+            return self._put(digest, is_cert, body)
+        return self._error(405, f"method {method} not supported on {path}")
+
+    def _manifest(self, body: bytes | None):
+        try:
+            doc = json.loads(body or b"")
+        except ValueError as exc:
+            return self._error(400, f"invalid JSON body: {exc}")
+        digests = doc.get("digests") if isinstance(doc, dict) else None
+        if not isinstance(digests, list) or not all(
+            isinstance(d, str) for d in digests
+        ):
+            return self._error(400, "body must be {'digests': [<hex>, ...]}")
+        entries, certs = {}, {}
+        for digest in digests:
+            if not _DIGEST_RE.match(digest):
+                entries[digest] = certs[digest] = False
+                continue
+            entries[digest] = self.store._find_entry_file(digest) is not None
+            certs[digest] = self.store._find_cert_file(digest) is not None
+        return self._json(200, {"entries": entries, "certs": certs})
+
+    def _put(self, digest: str, is_cert: bool, body: bytes | None):
+        if body is None or not body:
+            return self._error(400, "request body required")
+        if len(body) > self.MAX_BODY:
+            return self._error(413, "request body too large")
+        try:
+            doc = json.loads(body)
+        except ValueError as exc:
+            return self._error(400, f"invalid JSON body: {exc}")
+        if not isinstance(doc, dict):
+            return self._error(400, "payload must be a JSON object")
+        if not is_cert and doc.get("status") not in ("sat", "unsat"):
+            return self._error(400, "entry status must be 'sat' or 'unsat'")
+        with self._lock:
+            self.puts += 1
+        if is_cert:
+            created = self.store.put_raw_cert(digest, body)
+        else:
+            created = self.store.put_raw_entry(digest, body)
+        if not created:
+            # The digest is the content address: an existing object wins,
+            # exactly like import_archive.  Idempotent success.
+            with self._lock:
+                self.put_conflicts += 1
+        return self._json(
+            201 if created else 200,
+            {"digest": digest, "stored": created},
+            {"ETag": f'"{digest}"'},
+        )
+
+
+class _StoreHandler(BaseHTTPRequestHandler):
+    server_version = "repro-store/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _respond(self, status, payload, ctype, headers, send_body=True):
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        if send_body and payload:
+            try:
+                self.wfile.write(payload)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-reply
+
+    def _handle(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        body = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > StoreAPI.MAX_BODY:
+            self.close_connection = True
+            self._respond(413, b'{"error":"request body too large"}', "application/json", {})
+            return
+        if length > 0:
+            body = self.rfile.read(length)
+        # Test harnesses (the fault-injection fixture) hang a hook off
+        # the server to inject 500s, stalls, and truncated replies
+        # without forking the protocol implementation.
+        hook = getattr(self.server, "fault_hook", None)
+        if hook is not None and hook(self, method, path, body):
+            return
+        status, payload, ctype, headers = self.server.api.handle(method, path, body)
+        self._respond(status, payload, ctype, headers, send_body=(method != "HEAD"))
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._handle("GET")
+
+    def do_HEAD(self):  # noqa: N802 - stdlib naming
+        self._handle("HEAD")
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        self._handle("POST")
+
+    def do_PUT(self):  # noqa: N802 - stdlib naming
+        self._handle("PUT")
+
+
+class StoreServer:
+    """Standalone HTTP object-store daemon over one local store
+    directory (``python -m repro.core.store serve``)."""
+
+    def __init__(
+        self,
+        store_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        self.store = VerdictStore(store_dir)
+        self.api = StoreAPI(self.store)
+        self._httpd = ThreadingHTTPServer((host, port), _StoreHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.api = self.api
+        self._httpd.fault_hook = None
+        self._httpd.verbose = verbose
+        self._serve_thread: threading.Thread | None = None
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "StoreServer":
+        """Serve in a background thread (tests, embedded use)."""
+        self._serve_thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-store", daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entrypoint)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop listening (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------------
+# Write-back flusher (one daemon thread per (store, url) per process)
+
+
+class _SpoolFlusher(threading.Thread):
+    """Drains a store's write-back spool to the remote in the
+    background.  Event-kicked after every local store(), with a slow
+    poll as the safety net; respects the circuit breaker so a dead
+    remote is probed once per cool-down, not once per verdict."""
+
+    POLL_S = 2.0
+
+    def __init__(self, path: str, url: str):
+        super().__init__(name=f"remote-flush:{os.path.basename(path)}", daemon=True)
+        self.path = path
+        self.url = url
+        self.wake = threading.Event()
+
+    def run(self) -> None:
+        store = RemoteVerdictStore(self.path, self.url, async_flush=False, _register=False)
+        while True:
+            self.wake.wait(self.POLL_S)
+            self.wake.clear()
+            if _remote_down(self.url):
+                continue
+            if store.spool_pending():
+                store.flush_spool(max_attempts=3)
+
+
+_FLUSHERS: dict[tuple[str, str], _SpoolFlusher] = {}
+_FLUSHERS_LOCK = threading.Lock()
+_FLUSHERS_PID = os.getpid()
+
+
+def _kick_flusher(path: str, url: str) -> None:
+    global _FLUSHERS_PID
+    key = (os.path.abspath(path), url)
+    with _FLUSHERS_LOCK:
+        if os.getpid() != _FLUSHERS_PID:
+            # Forked child: the parent's flusher threads did not survive
+            # the fork, only the registry dict did.  Start over.
+            _FLUSHERS.clear()
+            _FLUSHERS_PID = os.getpid()
+        flusher = _FLUSHERS.get(key)
+        if flusher is None or not flusher.is_alive():
+            flusher = _SpoolFlusher(key[0], url)
+            _FLUSHERS[key] = flusher
+            flusher.start()
+    flusher.wake.set()
+
+
+# ---------------------------------------------------------------------------
+# The remote tier
+
+
+def _cert_matches(digest: str, entry: dict, cert: dict) -> bool:
+    """Whether ``cert`` is a valid certificate *for this digest and
+    verdict*: digest-bound, kind-consistent with the entry's status,
+    and independently checkable (RUP replay / model replay)."""
+    from ..smt.checkproof import CheckFailure, check_certificate
+
+    try:
+        if cert.get("digest") != digest:
+            return False
+        kind, status = cert.get("kind"), entry.get("status")
+        if (kind, status) not in (("drat", "unsat"), ("model", "sat")):
+            return False
+        check_certificate(cert)
+    except CheckFailure:
+        return False
+    except Exception:  # noqa: BLE001 - hostile payloads crash arbitrarily
+        return False
+    return True
+
+
+class RemoteVerdictStore(VerdictStore):
+    """A :class:`VerdictStore` with a remote read-through/write-back
+    tier.
+
+    Lookups: local hit -> done (the remote is never consulted); local
+    miss -> remote fetch, certificate verification, local adoption.
+    Stores: local write first (the source of truth for this machine),
+    then a spool marker that a background flusher pushes to the remote
+    with bounded retry.  Every remote failure is counted and absorbed.
+
+    Observability counters (all under ``store.remote.``): ``hits``,
+    ``misses``, ``fetch_s``, ``flush_s``, ``rejected_certs``,
+    ``errors``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        url: str | None = None,
+        verify_certs: bool | None = None,
+        timeout_s: float | None = None,
+        client: RemoteStoreClient | None = None,
+        async_flush: bool = True,
+        _register: bool = True,
+    ):
+        super().__init__(path)
+        self.remote_url = (url if url is not None else remote_store_url()).rstrip("/")
+        self._verify_certs = verify_certs
+        self.async_flush = async_flush
+        self._register = _register
+        if client is not None:
+            self.client = client
+        elif self.remote_url:
+            self.client = RemoteStoreClient(self.remote_url, timeout_s)
+        else:
+            self.client = None
+
+    def verify_certs_enabled(self) -> bool:
+        """Whether adoption requires a checkable certificate (ctor
+        override first, else ``REPRO_REMOTE_VERIFY_CERTS``)."""
+        if self._verify_certs is not None:
+            return self._verify_certs
+        return remote_verify_certs()
+
+    # -- read-through ----------------------------------------------------
+
+    def lookup(self, digest: str, var_map: dict[str, str]):
+        """Local entry, else remote fetch-verify-adopt, else miss."""
+        entry = self._read_entry(digest)
+        if entry is None and self.client is not None:
+            entry = self._fetch_remote(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return self._entry_to_result(entry, var_map)
+
+    def _fetch_remote(self, digest: str) -> dict | None:
+        """Fetch ``digest`` from the remote and adopt it locally.
+
+        Returns the entry dict on success, None on miss/rejection/
+        failure.  Never raises: network trouble opens the circuit
+        breaker and counts ``store.remote.errors``."""
+        if _remote_down(self.remote_url):
+            return None
+        start = time.perf_counter()
+        try:
+            raw = self.client.get_entry(digest)
+            if raw is None:
+                obs_count("store.remote.misses")
+                return None
+            try:
+                entry = json.loads(raw)
+            except ValueError:
+                entry = None
+            if not isinstance(entry, dict) or entry.get("status") not in ("sat", "unsat"):
+                # A 200 with garbage is a server bug, not a miss.
+                obs_count("store.remote.errors")
+                return None
+            cert_raw = self.client.get_cert(digest)
+        except RemoteUnavailable:
+            obs_count("store.remote.errors")
+            _mark_remote_down(self.remote_url)
+            return None
+        finally:
+            obs_count("store.remote.fetch_s", time.perf_counter() - start)
+        cert = None
+        if cert_raw is not None:
+            try:
+                cert = json.loads(cert_raw)
+            except ValueError:
+                cert = None
+            if not isinstance(cert, dict):
+                cert = None
+        if self.verify_certs_enabled():
+            if cert is None or not _cert_matches(digest, entry, cert):
+                # Unverifiable evidence: treat as a miss, solve locally.
+                obs_count("store.remote.rejected_certs")
+                return None
+        _mark_remote_up(self.remote_url)
+        self.put_raw_entry(digest, raw)
+        if cert is not None:
+            self.put_raw_cert(digest, cert_raw)
+        obs_count("store.remote.hits")
+        return entry
+
+    # -- write-back ------------------------------------------------------
+
+    def store(self, digest: str, var_map: dict[str, str], result) -> None:
+        """Local write, then spool for asynchronous remote write-back."""
+        before = self.stores
+        super().store(digest, var_map, result)
+        if self.stores == before or self.client is None:
+            return  # not cacheable (unknown) or the local write failed
+        self._spool_mark(digest)
+        if self.async_flush:
+            if self._register:
+                _kick_flusher(self.path, self.remote_url)
+        elif not _remote_down(self.remote_url):
+            self.flush_spool(max_attempts=1)
+
+    def _spool_mark(self, digest: str) -> None:
+        os.makedirs(self.spool_dir, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.spool_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"digest": digest}, handle)
+            os.replace(tmp, os.path.join(self.spool_dir, f"{digest}.json"))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def _flush_one(self, digest: str) -> None:
+        """Push one spooled digest (entry, then certificate) and clear
+        its marker.  Raises :class:`RemoteUnavailable` on network
+        failure so the caller can back off."""
+        marker = os.path.join(self.spool_dir, f"{digest}.json")
+        fname = self._find_entry_file(digest)
+        if fname is None:
+            # Entry gc'd before the flush caught up: nothing to push.
+            try:
+                os.unlink(marker)
+            except OSError:
+                pass
+            return
+        try:
+            with open(fname, "rb") as handle:
+                raw = handle.read()
+        except OSError:
+            return  # vanished mid-flush; marker stays for the next pass
+        self.client.put_entry(digest, raw)
+        cert_file = self._find_cert_file(digest)
+        if cert_file is not None:
+            try:
+                with open(cert_file, "rb") as handle:
+                    cert_raw = handle.read()
+                if cert_file.endswith(".gz"):
+                    cert_raw = gzip.decompress(cert_raw)
+                self.client.put_cert(digest, cert_raw)
+            except (OSError, ValueError):
+                pass  # unreadable local cert; the entry still travels
+        try:
+            os.unlink(marker)
+        except OSError:
+            pass
+
+    def flush_spool(self, max_attempts: int = 3, backoff_s: float = 0.25) -> dict:
+        """Synchronously push every pending spool marker.
+
+        Retries the whole backlog up to ``max_attempts`` times with
+        exponential backoff between rounds; returns ``{"flushed": n,
+        "pending": m, "errors": k}``.  Used by the background flusher,
+        the ``store flush`` CLI, and tests that need determinism.
+        """
+        flushed = errors = 0
+        start = time.perf_counter()
+        for attempt in range(max_attempts):
+            pending = self.spool_pending()
+            if not pending:
+                break
+            failed = False
+            for digest in pending:
+                try:
+                    self._flush_one(digest)
+                    flushed += 1
+                except RemoteUnavailable:
+                    errors += 1
+                    obs_count("store.remote.errors")
+                    _mark_remote_down(self.remote_url)
+                    failed = True
+                    break
+            if not failed:
+                break
+            if attempt + 1 < max_attempts:
+                time.sleep(backoff_s * (2**attempt))
+        obs_count("store.remote.flush_s", time.perf_counter() - start)
+        return {
+            "flushed": flushed,
+            "pending": len(self.spool_pending()),
+            "errors": errors,
+        }

@@ -280,10 +280,12 @@ def _check_obligation(
     goals = roots[: obligation.num_goals]
     assumptions = roots[obligation.num_goals:]
     if cache_dir:
-        # Sharded content-addressed store; reads legacy flat caches too.
-        from .store import VerdictStore
+        # Sharded content-addressed store; reads legacy flat caches too,
+        # and grows a remote read-through/write-back tier when
+        # REPRO_REMOTE_STORE points at a store server.
+        from .store import open_store
 
-        cache = VerdictStore(cache_dir)
+        cache = open_store(cache_dir)
     else:
         cache = None
     solver = Solver(max_conflicts=max_conflicts, timeout_s=timeout_s, cache=cache)

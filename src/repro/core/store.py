@@ -27,10 +27,16 @@ Command-line interface::
     python -m repro.core.store gc     [--store DIR] [--max-age-h H] [--keep N]
     python -m repro.core.store export ARCHIVE [--store DIR]
     python -m repro.core.store import ARCHIVE [--store DIR] [--wait]
+    python -m repro.core.store serve  [--store DIR] [--host H] [--port P]
+    python -m repro.core.store flush  [--store DIR] [--remote URL]
 
 Bulk imports take an flock (``.import.lock``) so two concurrent
 imports into one store cannot interleave their shard scans; a second
 importer refuses with exit code 3 unless ``--wait`` is passed.
+
+``serve`` exposes the store over HTTP (the object-store protocol in
+``repro.core.remote``); ``flush`` synchronously pushes any write-back
+spool left behind by an interrupted remote flush.
 """
 
 from __future__ import annotations
@@ -52,7 +58,13 @@ except ImportError:  # non-POSIX: imports proceed unguarded
 
 from ..smt.solver import SolverCache
 
-__all__ = ["StoreLockedError", "VerdictStore", "DEFAULT_STORE_DIR", "main"]
+__all__ = [
+    "StoreLockedError",
+    "VerdictStore",
+    "DEFAULT_STORE_DIR",
+    "open_store",
+    "main",
+]
 
 DEFAULT_STORE_DIR = os.environ.get("REPRO_CACHE_DIR", ".solvercache")
 
@@ -62,6 +74,9 @@ _DIGEST_RE = re.compile(r"^[0-9a-f]{16,64}$")
 
 INDEX_NAME = "index.json"
 IMPORT_LOCK_NAME = ".import.lock"
+# Write-back markers for the remote tier (repro.core.remote) live in
+# their own subdirectory so store walks never mistake them for entries.
+SPOOL_DIR_NAME = ".remote-spool"
 
 
 class StoreLockedError(RuntimeError):
@@ -176,6 +191,84 @@ class VerdictStore(SolverCache):
                 return candidate
         return None
 
+    # -- raw object writes (the remote tier and HTTP server) -------------
+
+    def put_raw_entry(self, digest: str, raw: bytes) -> bool:
+        """Write a verdict entry from its raw JSON bytes.
+
+        First writer wins (matching :meth:`import_archive`: existing
+        digests are identical by construction, the digest *is* the
+        content address).  Returns True when the entry was created,
+        False when one already existed or the write failed.  Atomic
+        like every store write, so racing writers are safe.
+        """
+        if self._find_entry_file(digest) is not None:
+            return False
+        target = self._entry_path(digest)
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def put_raw_cert(self, digest: str, raw: bytes) -> bool:
+        """Write a certificate from raw (uncompressed) JSON bytes, with
+        the same first-writer-wins semantics as :meth:`put_raw_entry`.
+        Large documents gzip exactly like :meth:`store_certificate`."""
+        if self._find_cert_file(digest) is not None:
+            return False
+        base = self._cert_path(digest)
+        target = base
+        if len(raw) >= self.CERT_GZIP_THRESHOLD:
+            raw = gzip.compress(raw, 1)
+            target = base + ".gz"
+        os.makedirs(os.path.dirname(target), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
+            os.replace(tmp, target)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        return True
+
+    # -- remote write-back spool -----------------------------------------
+
+    @property
+    def spool_dir(self) -> str:
+        return os.path.join(self.path, SPOOL_DIR_NAME)
+
+    def spool_pending(self) -> list[str]:
+        """Digests whose remote write-back has not completed, sorted.
+
+        Each pending digest is a ``<digest>.json`` marker dropped by
+        the remote tier at store time and removed after a successful
+        flush — so anything here survived an interrupted flush (or a
+        down remote) and still owes the fleet an upload.
+        """
+        try:
+            names = os.listdir(self.spool_dir)
+        except OSError:
+            return []
+        pending = []
+        for name in names:
+            stem, ext = os.path.splitext(name)
+            if ext == ".json" and _DIGEST_RE.match(stem):
+                pending.append(stem)
+        return sorted(pending)
+
     # -- index ----------------------------------------------------------
 
     @property
@@ -206,7 +299,12 @@ class VerdictStore(SolverCache):
                 "mtime": st.st_mtime,
                 "cert": self._find_cert_file(digest) is not None,
             }
-        index = {"version": 1, "entries": len(rows), "rows": rows}
+        index = {
+            "version": 1,
+            "entries": len(rows),
+            "spool_pending": len(self.spool_pending()),
+            "rows": rows,
+        }
         fd, tmp = tempfile.mkstemp(dir=self.path, suffix=".tmp")
         with os.fdopen(fd, "w") as handle:
             json.dump(index, handle, indent=2)
@@ -250,6 +348,11 @@ class VerdictStore(SolverCache):
             "by_status": by_status,
             "certificates": certs,
             "cert_bytes": cert_bytes,
+            # Interrupted remote flushes leave their write-back markers
+            # behind; surfacing the backlog here (instead of silently
+            # skipping the spool directory) is what lets operators see
+            # verdicts that never reached the shared store.
+            "spool_pending": len(self.spool_pending()),
         }
 
     def gc(self, max_age_s: float | None = None, keep: int | None = None) -> int:
@@ -283,6 +386,15 @@ class VerdictStore(SolverCache):
                 if cert_file is not None:
                     try:
                         os.unlink(cert_file)
+                    except OSError:
+                        pass
+                # Likewise its write-back marker: a collected entry can
+                # never be flushed, so the marker would sit in the spool
+                # forever as phantom backlog.
+                marker = os.path.join(self.spool_dir, f"{digest}.json")
+                if os.path.exists(marker):
+                    try:
+                        os.unlink(marker)
                     except OSError:
                         pass
         removed = 0
@@ -437,6 +549,28 @@ class VerdictStore(SolverCache):
 
 
 # ---------------------------------------------------------------------------
+# Factory
+
+
+def open_store(path: str, remote_url: str | None = None) -> VerdictStore:
+    """Open ``path`` as a verdict store, remote-tiered when configured.
+
+    With ``remote_url`` (or ``REPRO_REMOTE_STORE`` in the environment)
+    set, returns a :class:`~repro.core.remote.RemoteVerdictStore` whose
+    lookups read through to the shared HTTP store and whose writes
+    spool back to it; otherwise a plain local :class:`VerdictStore`.
+    This is the one switch point the runner and serve daemon use, so
+    every caller gains the remote tier from the environment alone.
+    """
+    from .remote import RemoteVerdictStore, remote_store_url
+
+    url = remote_url if remote_url is not None else remote_store_url()
+    if url:
+        return RemoteVerdictStore(path, url)
+    return VerdictStore(path)
+
+
+# ---------------------------------------------------------------------------
 # CLI
 
 
@@ -469,6 +603,18 @@ def main(argv=None) -> int:
         help="block until a concurrent import releases the store lock "
         "(default: refuse with exit code 3)",
     )
+    srv = sub.add_parser("serve", help="expose the store over HTTP")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    srv.add_argument("--verbose", action="store_true", help="log every request")
+    flush = sub.add_parser(
+        "flush", help="synchronously push the remote write-back spool"
+    )
+    flush.add_argument(
+        "--remote",
+        default=None,
+        help="store server URL (default: $REPRO_REMOTE_STORE)",
+    )
     args = parser.parse_args(argv)
 
     store = VerdictStore(args.store)
@@ -484,6 +630,7 @@ def main(argv=None) -> int:
         max_age_s = args.max_age_h * 3600.0 if args.max_age_h is not None else None
         removed = store.gc(max_age_s=max_age_s, keep=args.keep)
         print(f"collected {removed} entries; {store.summary()['entries']} remain")
+        _report_spool(store, "gc")
     elif args.cmd == "export":
         try:
             count = store.export_archive(args.archive)
@@ -491,6 +638,7 @@ def main(argv=None) -> int:
             print(f"export: cannot write {args.archive}: {exc}", file=sys.stderr)
             return 1
         print(f"exported {count} entries -> {args.archive}")
+        _report_spool(store, "export")
     elif args.cmd == "import":
         try:
             count = store.import_archive(args.archive, wait=args.wait)
@@ -501,7 +649,51 @@ def main(argv=None) -> int:
             print(f"import: cannot read {args.archive}: {exc}", file=sys.stderr)
             return 1
         print(f"imported {count} new entries into {store.path}")
+        _report_spool(store, "import")
+    elif args.cmd == "serve":
+        from .remote import StoreServer
+
+        server = StoreServer(
+            args.store, host=args.host, port=args.port, verbose=args.verbose
+        )
+        print(f"store serving on {server.url}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+    elif args.cmd == "flush":
+        from .remote import RemoteVerdictStore, remote_store_url
+
+        url = args.remote if args.remote is not None else remote_store_url()
+        if not url:
+            print(
+                "flush: no remote configured (pass --remote or set "
+                "REPRO_REMOTE_STORE)",
+                file=sys.stderr,
+            )
+            return 2
+        remote_store = RemoteVerdictStore(args.store, url, async_flush=False)
+        outcome = remote_store.flush_spool()
+        print(
+            f"flushed {outcome['flushed']} spooled entries to {url}; "
+            f"{outcome['pending']} pending, {outcome['errors']} errors"
+        )
+        if outcome["pending"]:
+            return 1
     return 0
+
+
+def _report_spool(store: VerdictStore, verb: str) -> None:
+    """Surface any write-back backlog after a store-mutating walk, so an
+    interrupted remote flush is visible instead of silently skipped."""
+    pending = store.spool_pending()
+    if pending:
+        print(
+            f"{verb}: {len(pending)} entries still spooled for remote "
+            f"write-back (run `python -m repro.core.store flush` to push them)"
+        )
 
 
 if __name__ == "__main__":

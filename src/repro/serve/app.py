@@ -27,6 +27,9 @@ Endpoints (all JSON)::
                                 in-flight ones finish)
     GET  /healthz               liveness + pool/job counts
     GET  /metrics               obs counters, scheduler/store telemetry
+    *    /store/...              the distributed-store object protocol
+                                (``repro.core.remote.StoreAPI``), so one
+                                daemon can serve verdicts to a fleet
 
 Determinism contract: a grid job's verdict map is keyed ``monitor.op``
 exactly like the bench CLI's artifact, and an obligation batch's
@@ -43,6 +46,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from ..core.remote import StoreAPI
 from ..core.runner import Obligation
 from ..core.scheduler import get_scheduler, peek_scheduler
 from ..core.store import DEFAULT_STORE_DIR, VerdictStore
@@ -90,6 +94,10 @@ class VerificationServer:
 
         self.store_dir = store_dir or DEFAULT_STORE_DIR
         self.store = VerdictStore(self.store_dir)
+        # The daemon's store doubles as a distributed-store server:
+        # remote clients read/write it under /store/ with the same
+        # protocol the standalone `store serve` daemon speaks.
+        self.store_api = StoreAPI(self.store)
         self.spool_dir = spool_dir or os.path.join(self.store_dir, "jobs")
         self.registry = JobRegistry(self.spool_dir)
         self.default_jobs = default_jobs
@@ -345,6 +353,8 @@ class VerificationServer:
             "store": {
                 "path": self.store.path,
                 "entries": len(self.store.digests()),
+                "spool_pending": len(self.store.spool_pending()),
+                **self.store_api.counters(),
             },
         }
         if self._collector is not None:
@@ -386,6 +396,40 @@ class _Handler(BaseHTTPRequestHandler):
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-reply
 
+    def _send_raw(
+        self,
+        code: int,
+        payload: bytes,
+        ctype: str,
+        headers: dict,
+        send_body: bool = True,
+    ) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        if send_body and payload:
+            try:
+                self.wfile.write(payload)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # client went away mid-reply
+
+    def _route_store(self, method: str, path: str) -> None:
+        """Forward a /store/... request to the object-store protocol
+        handler shared with the standalone store server."""
+        body = None
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > 64 * 1024 * 1024:
+            raise ApiError(413, "request body too large")
+        if length > 0:
+            body = self.rfile.read(length)
+        status, payload, ctype, headers = self.app.store_api.handle(
+            method, path, body
+        )
+        self._send_raw(status, payload, ctype, headers, send_body=(method != "HEAD"))
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -415,6 +459,9 @@ class _Handler(BaseHTTPRequestHandler):
         count("serve.http.requests")
         try:
             path = self.path.split("?", 1)[0]
+            if path == "/store" or path.startswith("/store/"):
+                self._route_store(method, path)
+                return
             match = _JOB_PATH.match(path)
             if method == "GET" and path == "/healthz":
                 self._send_json(200, self.app.healthz())
@@ -546,3 +593,9 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._route("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib naming
+        self._route("PUT")
+
+    def do_HEAD(self) -> None:  # noqa: N802 - stdlib naming
+        self._route("HEAD")

@@ -284,6 +284,15 @@ class SolverCache:
             self.misses += 1
             return None
         self.hits += 1
+        return self._entry_to_result(entry, var_map)
+
+    @staticmethod
+    def _entry_to_result(entry: dict, var_map: dict[str, str]) -> "CheckResult":
+        """Materialize a stored entry as a :class:`CheckResult` for the
+        hitting query: models come back from canonical variable names to
+        the query's own names via ``var_map``.  Shared with the remote
+        read-through tier, which adopts entries from other machines and
+        must replay them identically."""
         stats = {"cache_hit": True, "time_s": 0.0}
         if entry["status"] == SAT:
             canon_to_name = {canon: name for name, canon in var_map.items()}

@@ -179,6 +179,55 @@ class TestImportLock:
         assert sorted(dst.digests()) == sorted(expected)
 
 
+class TestSpoolReporting:
+    """Remote write-back markers (``.remote-spool/``) are surfaced by
+    every maintenance walk, never silently skipped."""
+
+    def _store_with_spool(self, tmp_path):
+        store = VerdictStore(str(tmp_path / "s"))
+        expected = _populate(store)
+        os.makedirs(store.spool_dir, exist_ok=True)
+        spooled = list(expected)[:2]
+        for digest in spooled:
+            with open(os.path.join(store.spool_dir, f"{digest}.json"), "w") as handle:
+                json.dump({"digest": digest}, handle)
+        # Junk in the spool directory is not a pending flush.
+        with open(os.path.join(store.spool_dir, "noise.tmp"), "w") as handle:
+            handle.write("x")
+        return store, expected, spooled
+
+    def test_summary_and_index_count_pending(self, tmp_path):
+        store, expected, spooled = self._store_with_spool(tmp_path)
+        assert store.spool_pending() == sorted(spooled)
+        assert store.summary()["spool_pending"] == len(spooled)
+        assert store.write_index()["spool_pending"] == len(spooled)
+        assert store.summary()["entries"] == len(expected)  # markers not entries
+
+    def test_gc_drops_markers_with_their_entries(self, tmp_path):
+        store, expected, spooled = self._store_with_spool(tmp_path)
+        assert store.gc(keep=0) == len(expected)
+        # A collected entry can never be flushed: its marker went too.
+        assert store.spool_pending() == []
+
+    def test_export_leaves_spool_out_of_the_archive(self, tmp_path):
+        store, expected, spooled = self._store_with_spool(tmp_path)
+        archive = str(tmp_path / "out.tar.gz")
+        assert store.export_archive(archive) == len(expected)
+        dst = VerdictStore(str(tmp_path / "dst"))
+        assert dst.import_archive(archive) == len(expected)
+        # Pending flushes are a per-machine obligation, not payload.
+        assert dst.spool_pending() == []
+
+    def test_cli_reports_backlog(self, tmp_path, capsys):
+        store, expected, spooled = self._store_with_spool(tmp_path)
+        archive = str(tmp_path / "out.tar.gz")
+        assert store_main(["--store", store.path, "export", archive]) == 0
+        assert "2 entries still spooled for remote write-back" in capsys.readouterr().out
+        stats = store_main(["--store", store.path, "stats"])
+        assert stats == 0
+        assert json.loads(capsys.readouterr().out)["spool_pending"] == 2
+
+
 class TestVanishTolerance:
     """Maintenance walks must tolerate entries vanishing mid-scan (a
     concurrent gc or importer): skip, never raise."""
