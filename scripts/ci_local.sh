@@ -84,9 +84,13 @@ run_job grid-assert python scripts/compare_runner_runs.py \
 # Boots the repro.serve daemon on a fresh store, drives 8 concurrent
 # clients through the quick grid (cold then warm), checks verdict maps
 # against the sequential run, and gates warm throughput + the >= 2x
-# shared-cache speedup against the committed baseline.
+# shared-cache speedup against the committed baseline.  Mid-load it
+# scrapes /metrics as Prometheus text (every sample must parse) and
+# finishes with an obs.top --once --json snapshot (non-zero ob/s,
+# p50 <= p99) — both checks live inside load_serve.py.
 run_job serve-load python scripts/load_serve.py \
-    --clients 8 --out "$tmp/BENCH_serve.json"
+    --clients 8 --out "$tmp/BENCH_serve.json" \
+    --prom-out "$tmp/metrics.prom" --top-out "$tmp/top.json"
 run_job serve-perf-gate python scripts/check_bench.py --serve \
     "$tmp/BENCH_serve.json" BENCH_serve_baseline.json
 

@@ -19,7 +19,14 @@ Checks, all hard failures:
     contract;
   * every job finishes ``done``;
   * warm obligations/sec must beat cold by ``--require-speedup``
-    (default 2.0; the shared-cache contract.  0 disables).
+    (default 2.0; the shared-cache contract.  0 disables);
+  * ``/metrics`` scraped as Prometheus text *during* the warm phase
+    must parse cleanly on every sample and include the
+    ``repro_obligation_wall_seconds`` histogram (the last scrape is
+    kept as the ``--prom-out`` artifact);
+  * ``python -m repro.obs.top --once --json`` against the loaded
+    daemon must report non-zero ob/s with p50 <= p99 (saved as the
+    ``--top-out`` artifact).
 
 Artifact shape::
 
@@ -334,6 +341,16 @@ def main() -> int:
     parser.add_argument("--url", default=None, help="target a running daemon instead of booting one")
     parser.add_argument("--store", default=None, help="store dir for the booted daemon (default: fresh tmpdir)")
     parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument(
+        "--prom-out",
+        default="metrics.prom",
+        help="file for the last mid-load Prometheus scrape ('' disables)",
+    )
+    parser.add_argument(
+        "--top-out",
+        default="top.json",
+        help="file for the obs.top --once --json snapshot ('' disables)",
+    )
     parser.add_argument("--job-timeout", type=float, default=300.0)
     parser.add_argument(
         "--require-speedup",
@@ -378,7 +395,10 @@ def main() -> int:
     try:
         client = ServeClient(url, timeout_s=args.job_timeout)
         health = client.healthz()
-        print(f"healthz: ok={health['ok']} jobs={health['jobs']}")
+        print(
+            f"healthz: ok={health['ok']} version={health.get('version', '?')} "
+            f"uptime={health.get('uptime_s', 0.0):.1f}s jobs={health['jobs']}"
+        )
 
         # -- cold phase --------------------------------------------------
         start = time.perf_counter()
@@ -419,7 +439,33 @@ def main() -> int:
                     }
                     states[f"warm[{cid}.{round_no}]"] = final["state"]
 
+        # Mid-load observability scrape: while the warm fleet hammers
+        # the daemon, keep pulling /metrics as Prometheus text and
+        # validating every sample with the stdlib parser — concurrent
+        # scrapes must never see a torn exposition.
+        from repro.obs.prom import parse_prometheus
+
+        scrape_stop = threading.Event()
+        scrapes = {"count": 0, "last": None}
+
+        def scraper():
+            reader = ServeClient(url, timeout_s=30.0)
+            while not scrape_stop.is_set():
+                try:
+                    text = reader.metrics_text()
+                    parse_prometheus(text)
+                except Exception as exc:
+                    with lock:
+                        errors.append(f"mid-load /metrics scrape: {exc}")
+                    return
+                with lock:
+                    scrapes["count"] += 1
+                    scrapes["last"] = text
+                scrape_stop.wait(0.2)
+
+        scrape_thread = threading.Thread(target=scraper, daemon=True)
         start = time.perf_counter()
+        scrape_thread.start()
         threads = [
             threading.Thread(target=one_client, args=(cid,)) for cid in range(args.clients)
         ]
@@ -428,6 +474,8 @@ def main() -> int:
         for thread in threads:
             thread.join()
         warm_wall = time.perf_counter() - start
+        scrape_stop.set()
+        scrape_thread.join(timeout=30)
         failures.extend(errors)
         warm = _phase_summary(warm_wall, warm_finals, warm_latencies)
         print(
@@ -436,6 +484,62 @@ def main() -> int:
             f"p50 {warm['p50_ms']:.0f}ms, p99 {warm['p99_ms']:.0f}ms, "
             f"cache {warm['cache_hits']}/{warm['cache_queries']})"
         )
+
+        # -- observability artifacts -------------------------------------
+        if scrapes["count"] == 0:
+            failures.append("no /metrics scrape completed during the warm phase")
+        else:
+            parsed = parse_prometheus(scrapes["last"])
+            hist = parsed["histograms"].get("repro_obligation_wall_seconds")
+            if hist is None:
+                failures.append(
+                    "mid-load scrape lacks the repro_obligation_wall_seconds histogram"
+                )
+            elif sum(hist["buckets"]) != hist["count"]:
+                failures.append(
+                    "repro_obligation_wall_seconds bucket sum != count (torn read)"
+                )
+            if "repro_serve_uptime_seconds" not in parsed["gauges"]:
+                failures.append("mid-load scrape lacks the repro_serve_uptime_seconds gauge")
+            print(f"scraped /metrics {scrapes['count']}x mid-load; every sample parsed")
+            if args.prom_out:
+                with open(args.prom_out, "w") as handle:
+                    handle.write(scrapes["last"])
+                print(f"wrote {os.path.abspath(args.prom_out)}")
+
+        top_env = dict(os.environ)
+        top_env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (os.path.join(REPO_ROOT, "src"), os.environ.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs.top", url, "--once", "--json"],
+            capture_output=True, text=True, cwd=REPO_ROOT, env=top_env,
+        )
+        if proc.returncode != 0:
+            failures.append(
+                f"obs.top --once --json exited {proc.returncode}: "
+                f"{proc.stderr.strip()[-300:]}"
+            )
+        else:
+            entry = json.loads(proc.stdout)["endpoints"][0]
+            if not entry.get("ok"):
+                failures.append(f"obs.top reports the endpoint down: {entry.get('error')}")
+            elif entry.get("ob_per_s", 0) <= 0:
+                failures.append("obs.top reports zero obligations/sec after the load phases")
+            elif entry["p50_ms"] > entry["p99_ms"]:
+                failures.append(
+                    f"obs.top p50 {entry['p50_ms']:.2f}ms > p99 {entry['p99_ms']:.2f}ms"
+                )
+            else:
+                print(
+                    f"obs.top: {entry['ob_per_s']:.1f} ob/s, "
+                    f"p50 {entry['p50_ms']:.1f}ms, p99 {entry['p99_ms']:.1f}ms, "
+                    f"workers {entry['pool_workers']}"
+                )
+            if args.top_out:
+                with open(args.top_out, "w") as handle:
+                    handle.write(proc.stdout)
+                print(f"wrote {os.path.abspath(args.top_out)}")
 
         # -- checks ------------------------------------------------------
         for label, state in states.items():
@@ -471,6 +575,7 @@ def main() -> int:
             "cold": cold,
             "warm": warm,
             "speedup": speedup,
+            "metrics_scrapes": scrapes["count"],
             "verdicts": reference,
         }
         try:

@@ -66,7 +66,8 @@ import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..obs import count as obs_count
+from ..obs import count as obs_count, event as obs_event, observe as obs_observe
+from ..obs.events import TRACE_HEADER, current_trace, format_trace_header, parse_trace_header
 from .store import _DIGEST_RE, VerdictStore
 
 __all__ = [
@@ -75,6 +76,7 @@ __all__ = [
     "RemoteVerdictStore",
     "StoreAPI",
     "StoreServer",
+    "breaker_open",
     "remote_store_url",
     "remote_verify_certs",
     "remote_timeout_s",
@@ -142,6 +144,15 @@ def _reset_breakers() -> None:
         _DOWN_UNTIL.clear()
 
 
+def breaker_open(url: str | None = None) -> bool:
+    """Whether the circuit breaker is open for ``url`` (default: the
+    configured remote).  The ``/metrics`` gauge for remote health."""
+    target = url if url is not None else remote_store_url()
+    if not target:
+        return False
+    return _remote_down(target.rstrip("/"))
+
+
 # ---------------------------------------------------------------------------
 # Client
 
@@ -185,6 +196,11 @@ class RemoteStoreClient:
         self, method: str, path: str, body: bytes | None = None
     ) -> tuple[int, bytes]:
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        # Propagate the ambient correlation ids so the server's request
+        # log can tie this fetch/flush back to the submitting job.
+        trace_value = format_trace_header(*current_trace())
+        if trace_value is not None:
+            headers[TRACE_HEADER] = trace_value
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=body, method=method, headers=headers
         )
@@ -350,12 +366,36 @@ class StoreAPI:
 
     # -- dispatch --------------------------------------------------------
 
-    def handle(self, method: str, path: str, body: bytes | None):
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        accept: str = "",
+        trace: str | None = None,
+    ):
         """Serve one request; returns ``(status, payload, content_type,
-        headers)``.  Never raises — protocol errors become 4xx JSON."""
+        headers)``.  Never raises — protocol errors become 4xx JSON.
+
+        ``accept`` content-negotiates ``/metrics`` (Prometheus text vs
+        JSON); ``trace`` is the raw ``X-Repro-Trace`` header, logged as
+        a structured request event so a store request can be correlated
+        with the job that caused it.
+        """
         with self._lock:
             self.requests += 1
+        trace_id, ob_id = parse_trace_header(trace)
+        obs_event(
+            "debug",
+            "store.request",
+            trace_id=trace_id,
+            ob_id=ob_id,
+            method=method,
+            path=path,
+        )
         sub = path[len("/store"):] if path.startswith("/store") else path
+        if method == "GET" and sub == "/metrics":
+            return self._metrics(accept)
         if method == "GET" and sub in ("", "/", "/healthz"):
             return self._json(
                 200,
@@ -390,6 +430,21 @@ class StoreAPI:
         if method == "PUT":
             return self._put(digest, is_cert, body)
         return self._error(405, f"method {method} not supported on {path}")
+
+    def _metrics(self, accept: str = ""):
+        """Store-side metrics, JSON by default, Prometheus on request."""
+        counters = {f"store.{name}": value for name, value in self.counters().items()}
+        gauges = {
+            "store.uptime_seconds": time.time() - self.started_t,
+            "store.entries": len(self.store.digests()),
+            "store.spool_pending": len(self.store.spool_pending()),
+        }
+        if "text/plain" in (accept or ""):
+            from ..obs.prom import CONTENT_TYPE, render_prometheus
+
+            text = render_prometheus(counters=counters, gauges=gauges)
+            return 200, text.encode(), CONTENT_TYPE, {}
+        return self._json(200, {"counters": counters, "gauges": gauges})
 
     def _manifest(self, body: bytes | None):
         try:
@@ -478,7 +533,13 @@ class _StoreHandler(BaseHTTPRequestHandler):
         hook = getattr(self.server, "fault_hook", None)
         if hook is not None and hook(self, method, path, body):
             return
-        status, payload, ctype, headers = self.server.api.handle(method, path, body)
+        status, payload, ctype, headers = self.server.api.handle(
+            method,
+            path,
+            body,
+            accept=self.headers.get("Accept", ""),
+            trace=self.headers.get(TRACE_HEADER),
+        )
         self._respond(status, payload, ctype, headers, send_body=(method != "HEAD"))
 
     def do_GET(self):  # noqa: N802 - stdlib naming
@@ -504,6 +565,7 @@ class StoreServer:
         host: str = "127.0.0.1",
         port: int = 0,
         verbose: bool = False,
+        collect: bool = False,
     ):
         self.store = VerdictStore(store_dir)
         self.api = StoreAPI(self.store)
@@ -514,6 +576,16 @@ class StoreServer:
         self._httpd.verbose = verbose
         self._serve_thread: threading.Thread | None = None
         self._closed = False
+        # ``collect=True`` (the standalone CLI) keeps a process-lifetime
+        # tracing session open so request events are recorded; embedded
+        # servers leave the process-global obs state alone.
+        self._tracing = None
+        self.collector = None
+        if collect:
+            from ..obs import tracing
+
+            self._tracing = tracing(absorb=False)
+            self.collector = self._tracing.__enter__()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -545,6 +617,9 @@ class StoreServer:
         self._httpd.server_close()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
+        if self._tracing is not None:
+            self._tracing.__exit__(None, None, None)
+            self._tracing = None
 
 
 # ---------------------------------------------------------------------------
@@ -702,12 +777,15 @@ class RemoteVerdictStore(VerdictStore):
                 obs_count("store.remote.errors")
                 return None
             cert_raw = self.client.get_cert(digest)
-        except RemoteUnavailable:
+        except RemoteUnavailable as exc:
             obs_count("store.remote.errors")
+            obs_event("warn", "store.fetch.failed", digest=digest, error=str(exc))
             _mark_remote_down(self.remote_url)
             return None
         finally:
-            obs_count("store.remote.fetch_s", time.perf_counter() - start)
+            fetch_s = time.perf_counter() - start
+            obs_count("store.remote.fetch_s", fetch_s)
+            obs_observe("store.remote.fetch_seconds", fetch_s)
         cert = None
         if cert_raw is not None:
             try:
@@ -819,7 +897,9 @@ class RemoteVerdictStore(VerdictStore):
                 break
             if attempt + 1 < max_attempts:
                 time.sleep(backoff_s * (2**attempt))
-        obs_count("store.remote.flush_s", time.perf_counter() - start)
+        flush_s = time.perf_counter() - start
+        obs_count("store.remote.flush_s", flush_s)
+        obs_observe("store.remote.flush_seconds", flush_s)
         return {
             "flushed": flushed,
             "pending": len(self.spool_pending()),

@@ -45,6 +45,7 @@ from typing import Callable, Iterable, Sequence
 from ..obs import (
     enabled as _obs_enabled,
     get_collector as _obs_collector,
+    observe as _obs_observe,
     span as _obs_span,
 )
 from ..smt import (
@@ -366,8 +367,10 @@ def run_obligations(
         # span needs adding.
         results = []
         for ob in obligations:
+            ob_start = time.perf_counter()
             with _obs_span(ob.name, cat="scheduler") as sargs:
                 result = _check_obligation(ob, cache_dir, max_conflicts, timeout_s)
+            _obs_observe("obligation.wall_seconds", time.perf_counter() - ob_start)
             if sargs is not None:
                 sargs["status"] = result.status
             results.append(result)

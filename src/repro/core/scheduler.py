@@ -161,6 +161,7 @@ class _Ticket:
         trace: bool = False,
         job: str | None = None,
         on_result=None,
+        trace_id: str | None = None,
     ):
         self.results: list = [None] * count
         self.pending = count
@@ -168,6 +169,7 @@ class _Ticket:
         self.event = threading.Event()
         self.trace = trace
         self.job = job
+        self.trace_id = trace_id
         self.on_result = on_result
         self.cancelled = False
         self.obs: list = [None] * count
@@ -218,24 +220,31 @@ def _worker_main(wid: int, inbox, outbox) -> None:
     worker's span timestamps land directly on the parent's timeline.
     """
     os.environ[_WORKER_ENV] = "1"
+    from ..obs.events import trace_context
+
     while True:
         msg = inbox.get()
         if msg is None:
             return
-        tid, kind, payload, trace = msg
+        tid, kind, payload, trace, ids = msg
+        trace_id, ob_id = ids if ids is not None else (None, None)
         start = time.perf_counter()
         snap = None
         try:
-            if trace:
-                from ..obs import tracing
-                from ..sym.profiler import profile
+            # Bind the correlation ids around the whole solve so every
+            # span recorded below — and every remote-store request the
+            # cache makes — carries the submitting job's trace_id.
+            with trace_context(trace_id, ob_id):
+                if trace:
+                    from ..obs import tracing
+                    from ..sym.profiler import profile
 
-                with tracing(absorb=False) as col, profile() as prof:
+                    with tracing(absorb=False) as col, profile() as prof:
+                        result = _run_task(kind, payload)
+                    col.merge_regions(prof.snapshot())
+                    snap = col.snapshot()
+                else:
                     result = _run_task(kind, payload)
-                col.merge_regions(prof.snapshot())
-                snap = col.snapshot()
-            else:
-                result = _run_task(kind, payload)
         except BaseException as exc:  # resilience: the loop must survive
             # A crash may have left the worker's incremental SAT session
             # mid-mutation; drop it so the next task starts clean.
@@ -369,6 +378,7 @@ class ObligationScheduler:
         trace: bool = False,
         job: str | None = None,
         on_result=None,
+        trace_id: str | None = None,
     ) -> _Ticket:
         """Queue obligations; returns a ticket to ``wait()`` on.
 
@@ -376,20 +386,30 @@ class ObligationScheduler:
         independent verification tasks share the pool.  ``job`` tags
         the ticket for telemetry and ``on_result(index, result)``
         streams each verdict as it finalizes (see :class:`_Ticket` for
-        the callback's constraints).
+        the callback's constraints).  ``trace_id`` (defaulting to the
+        submitting thread's ambient id) rides to the workers so their
+        spans and store requests are correlated with the job.
         """
         specs = [
             ("ob", (ob, cache_dir, max_conflicts, timeout_s), ob.name) for ob in obligations
         ]
-        return self._submit(specs, retries, trace, job=job, on_result=on_result)
+        return self._submit(
+            specs, retries, trace, job=job, on_result=on_result, trace_id=trace_id
+        )
 
     def submit_calls(self, fn, items, retries: int = 0, trace: bool = False) -> _Ticket:
         """Queue generic ``fn(item)`` tasks (the JIT-sweep shape)."""
         specs = [("call", (fn, item), f"{getattr(fn, '__name__', 'call')}[{i}]") for i, item in enumerate(items)]
         return self._submit(specs, retries, trace)
 
-    def _submit(self, specs, retries: int, trace: bool = False, job=None, on_result=None) -> _Ticket:
-        ticket = _Ticket(len(specs), trace=trace, job=job, on_result=on_result)
+    def _submit(
+        self, specs, retries: int, trace: bool = False, job=None, on_result=None, trace_id=None
+    ) -> _Ticket:
+        if trace_id is None:
+            from ..obs.events import current_trace
+
+            trace_id = current_trace()[0]
+        ticket = _Ticket(len(specs), trace=trace, job=job, on_result=on_result, trace_id=trace_id)
         if not specs:
             ticket.event.set()
             return ticket
@@ -441,7 +461,11 @@ class ObligationScheduler:
                 task.stolen = True
             self._idle.discard(wid)
             self._inflight[wid] = tid
-            worker.inbox.put((tid, task.kind, task.payload, task.ticket.trace))
+            ticket = task.ticket
+            ids = None
+            if ticket.trace_id is not None:
+                ids = (ticket.trace_id, f"{ticket.trace_id}.{task.index}")
+            worker.inbox.put((tid, task.kind, task.payload, ticket.trace, ids))
 
     def _finalize(
         self,
@@ -455,6 +479,7 @@ class ObligationScheduler:
         del self._tasks[task.tid]
         ticket = task.ticket
         ticket.results[task.index] = result
+        ob_id = f"{ticket.trace_id}.{task.index}" if ticket.trace_id else None
         if wid is not None and start is not None:
             ticket.timeline[task.index] = {
                 "name": task.name,
@@ -465,6 +490,26 @@ class ObligationScheduler:
                 "stolen": task.stolen,
                 "attempts": task.attempts + 1,
             }
+            # Latency histograms go to the process-global collector (the
+            # daemon's process-lifetime session): obligation wall time
+            # and how long the task sat queued before a worker took it.
+            from ..obs import event as obs_event, observe as obs_observe
+
+            obs_observe("obligation.wall_seconds", elapsed)
+            obs_observe("obligation.queue_wait_seconds", max(0.0, start - task.queued_t))
+            if task.kind == "ob":
+                status = result.status if isinstance(result, ObligationResult) else "?"
+                obs_event(
+                    "info",
+                    "obligation.done",
+                    trace_id=ticket.trace_id,
+                    ob_id=ob_id,
+                    name=task.name,
+                    status=status,
+                    wall_s=elapsed,
+                    worker=wid,
+                    job=ticket.job,
+                )
         if snap is not None:
             ticket.obs[task.index] = (wid, snap)
         ticket.done += 1
@@ -513,6 +558,17 @@ class ObligationScheduler:
         task.attempts += 1
         self.retries += 1
         task.ticket.retries += 1
+        from ..obs import event as obs_event
+
+        obs_event(
+            "warn",
+            "obligation.retry",
+            trace_id=task.ticket.trace_id,
+            ob_id=f"{task.ticket.trace_id}.{task.index}" if task.ticket.trace_id else None,
+            name=task.name,
+            attempt=task.attempts + 1,
+            worker=wid,
+        )
         # Retry on the worker that just freed up: its deque front keeps
         # the retry prompt without jumping the whole queue.
         self._workers[wid].deque.appendleft(task.tid)
@@ -574,6 +630,9 @@ class ObligationScheduler:
         for worker in self._workers:
             if worker.process.is_alive():
                 continue
+            from ..obs import event as obs_event
+
+            obs_event("error", "worker.died", worker=worker.wid)
             tid = self._inflight.pop(worker.wid, None)
             if tid is not None and tid in self._tasks:
                 task = self._tasks[tid]
@@ -637,6 +696,9 @@ class ObligationScheduler:
                 "attempts": entry["attempts"],
                 "worker": entry["wid"],
             }
+            if ticket.trace_id is not None:
+                args["trace_id"] = ticket.trace_id
+                args["ob_id"] = f"{ticket.trace_id}.{index}"
             if isinstance(result, ObligationResult):
                 args["status"] = result.status
             col.add_span(

@@ -654,7 +654,7 @@ def main(argv=None) -> int:
         from .remote import StoreServer
 
         server = StoreServer(
-            args.store, host=args.host, port=args.port, verbose=args.verbose
+            args.store, host=args.host, port=args.port, verbose=args.verbose, collect=True
         )
         print(f"store serving on {server.url}", flush=True)
         try:

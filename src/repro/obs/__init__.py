@@ -26,19 +26,27 @@ runs with the same seed — the determinism contract CI checks.
 """
 
 from .collector import (
+    HIST_BUCKETS,
     Collector,
+    Histogram,
     SpanEvent,
     count,
     enabled,
+    event,
     get_collector,
     maybe_tracing,
+    observe,
     span,
     tracing,
 )
+from .events import current_trace, new_trace_id, trace_context
 from .export import (
     LAYER_CATEGORIES,
     chrome_trace,
     jsonl_lines,
+    merge_chrome_traces,
+    parse_prometheus,
+    render_prometheus,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
@@ -47,17 +55,27 @@ from .report import render_report, summarize
 
 __all__ = [
     "Collector",
+    "HIST_BUCKETS",
+    "Histogram",
     "LAYER_CATEGORIES",
     "SpanEvent",
     "chrome_trace",
     "count",
+    "current_trace",
     "enabled",
+    "event",
     "get_collector",
     "jsonl_lines",
     "maybe_tracing",
+    "merge_chrome_traces",
+    "new_trace_id",
+    "observe",
+    "parse_prometheus",
+    "render_prometheus",
     "render_report",
     "span",
     "summarize",
+    "trace_context",
     "tracing",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -28,16 +28,24 @@ their snapshots are absorbed.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from collections import deque
 import threading
 import time
 
+from .events import current_trace
+
 __all__ = [
     "Collector",
+    "HIST_BUCKETS",
+    "Histogram",
     "SpanEvent",
     "count",
     "enabled",
+    "event",
     "get_collector",
     "maybe_tracing",
+    "observe",
     "span",
     "tracing",
 ]
@@ -46,6 +54,124 @@ __all__ = [
 # e.g. a span per engine step over a huge binary — cannot exhaust
 # memory; counters are unaffected by the cap.
 MAX_SPANS = 200_000
+
+# Events beyond this roll off the front of the ring; the record seq
+# keeps increasing so ``GET /events?since=`` readers can detect loss.
+MAX_EVENTS = 4096
+
+# The shared latency bucket scheme: log-spaced upper bounds from 100 µs
+# doubling up to ~839 s, plus an implicit +Inf overflow bucket.  Every
+# process uses the *same* bounds, which is what makes histograms
+# mergeable across workers and daemons by element-wise addition —
+# the histogram analogue of the counter-merge contract.
+HIST_BUCKETS: tuple[float, ...] = tuple(1e-4 * (2.0**i) for i in range(24))
+
+
+class Histogram:
+    """Fixed-bucket latency histogram, mergeable across processes.
+
+    Observations land in log-spaced buckets (:data:`HIST_BUCKETS` by
+    default); two histograms with the same bounds merge by adding
+    bucket counts, so worker snapshots fold into the parent exactly
+    like counters do.  ``sum``/``min``/``max`` ride along for exact
+    aggregates; percentiles are estimated by linear interpolation
+    within the winning bucket (the same estimate Prometheus's
+    ``histogram_quantile`` makes from ``_bucket`` series).
+    """
+
+    __slots__ = ("bounds", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: tuple[float, ...] = HIST_BUCKETS):
+        self.bounds = tuple(bounds)
+        # One slot per bound plus the +Inf overflow bucket.
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds)."""
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def merge(self, other: "Histogram | dict") -> None:
+        """Fold another histogram (or its ``to_json`` dict) into this one."""
+        if isinstance(other, dict):
+            other = Histogram.from_json(other)
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+
+    def percentile(self, q: float) -> float:
+        """Estimated q-quantile (``q`` in [0, 1]) from the buckets."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cum = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i] if i < len(self.bounds) else (self.max or lo)
+                hi = min(hi, self.max) if self.max is not None else hi
+                lo = max(lo, self.min) if self.min is not None else lo
+                if hi <= lo:
+                    return hi
+                frac = (target - cum) / n
+                return lo + (hi - lo) * frac
+            cum += n
+        return self.max or 0.0
+
+    def summary(self) -> dict:
+        """Count/sum/min/max plus p50/p90/p99 estimates."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+    def to_json(self) -> dict:
+        """Portable dict for result envelopes and ``/metrics`` JSON."""
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_json` output."""
+        hist = cls(tuple(doc["bounds"]))
+        hist.buckets = list(doc["buckets"])
+        hist.count = doc["count"]
+        hist.sum = doc["sum"]
+        hist.min = doc.get("min")
+        hist.max = doc.get("max")
+        return hist
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.sum:.6f})"
 
 
 class SpanEvent:
@@ -87,6 +213,14 @@ class _Span:
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         end = time.perf_counter()
+        # Stamp the ambient correlation ids here (not in add_span) so
+        # absorbed child rows keep the ids of the thread that recorded
+        # them rather than being re-stamped with the parent's context.
+        trace_id, ob_id = current_trace()
+        if trace_id is not None:
+            self._args.setdefault("trace_id", trace_id)
+            if ob_id is not None:
+                self._args.setdefault("ob_id", ob_id)
         self._col.add_span(
             self._name, self._cat, self._tid, self._start, end - self._start, self._args
         )
@@ -111,10 +245,13 @@ _NULL_SPAN = _NullSpan()
 class Collector:
     """Accumulates spans, counters, and region stats for one session."""
 
-    def __init__(self, max_spans: int = MAX_SPANS):
+    def __init__(self, max_spans: int = MAX_SPANS, max_events: int = MAX_EVENTS):
         self.spans: list[SpanEvent] = []
         self.counters: dict[str, int] = {}
         self.regions: dict[str, dict] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.events: deque[dict] = deque(maxlen=max_events)
+        self.event_seq = 0
         self.max_spans = max_spans
         self.dropped_spans = 0
         self.t0 = time.perf_counter()
@@ -141,6 +278,61 @@ class Collector:
     def count(self, name: str, n: int = 1) -> None:
         with self._lock:
             self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a latency observation (seconds) into a named histogram."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.observe(value)
+
+    def event(
+        self,
+        level: str,
+        msg: str,
+        trace_id: str | None = None,
+        ob_id: str | None = None,
+        **fields,
+    ) -> dict:
+        """Append a structured event record to the ring buffer.
+
+        Records carry a monotonically increasing ``seq`` even as old
+        entries roll off, so ``GET /events?since=`` readers can page
+        and detect loss.  ``ts`` is wall-clock (``time.time()``): the
+        log is for humans and cross-machine correlation, not for the
+        perf_counter span timeline.
+        """
+        with self._lock:
+            self.event_seq += 1
+            record = {
+                "seq": self.event_seq,
+                "ts": time.time(),
+                "level": level,
+                "msg": msg,
+                "trace_id": trace_id,
+                "ob_id": ob_id,
+            }
+            if fields:
+                record.update(fields)
+            self.events.append(record)
+            return record
+
+    def events_since(self, since: int = 0, level: str | None = None) -> list[dict]:
+        """Events with ``seq > since``, optionally at/above ``level``."""
+        from .events import EVENT_LEVELS
+
+        with self._lock:
+            records = [e for e in self.events if e["seq"] > since]
+        if level is not None and level in EVENT_LEVELS:
+            floor = EVENT_LEVELS.index(level)
+            records = [
+                e
+                for e in records
+                if (EVENT_LEVELS.index(e["level"]) if e.get("level") in EVENT_LEVELS else 1)
+                >= floor
+            ]
+        return records
 
     # -- merging ---------------------------------------------------------
 
@@ -175,7 +367,21 @@ class Collector:
         with self._lock:
             for key, value in snapshot.get("counters", {}).items():
                 self.counters[key] = self.counters.get(key, 0) + value
+            for key, doc in snapshot.get("histograms", {}).items():
+                hist = self.histograms.get(key)
+                if hist is None:
+                    self.histograms[key] = Histogram.from_json(doc)
+                else:
+                    hist.merge(doc)
         self.merge_regions(snapshot.get("regions", {}))
+        # Re-sequence child events onto this collector's ring so seq
+        # stays monotonic for ``/events?since=`` readers.
+        for child in snapshot.get("events", ()):
+            with self._lock:
+                self.event_seq += 1
+                record = dict(child)
+                record["seq"] = self.event_seq
+                self.events.append(record)
 
     # -- serialization ---------------------------------------------------
 
@@ -187,8 +393,15 @@ class Collector:
                 "spans": [event.as_row() for event in self.spans],
                 "dropped_spans": self.dropped_spans,
                 "counters": dict(self.counters),
+                "histograms": {name: h.to_json() for name, h in self.histograms.items()},
                 "regions": {name: dict(stats) for name, stats in self.regions.items()},
+                "events": [dict(e) for e in self.events],
             }
+
+    def histogram_summaries(self) -> dict:
+        """``{name: summary}`` for every histogram (the JSON ``/metrics`` shape)."""
+        with self._lock:
+            return {name: h.summary() for name, h in self.histograms.items()}
 
 
 # ---------------------------------------------------------------------------
@@ -230,6 +443,31 @@ def count(name: str, n: int = 1) -> None:
     col = _active
     if col is not None:
         col.count(name, n)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a latency observation into the active collector's
+    histogram; no-op when disabled (same fast path as :func:`count`)."""
+    col = _active
+    if col is not None:
+        col.observe(name, value)
+
+
+def event(level: str, msg: str, **fields) -> None:
+    """Emit a structured event into the active collector's ring.
+
+    The ambient correlation ids (:func:`~repro.obs.events.current_trace`)
+    are filled in unless the caller passes explicit ``trace_id``/``ob_id``
+    keyword fields.  No-op when tracing is disabled.
+    """
+    col = _active
+    if col is None:
+        return
+    if "trace_id" not in fields or "ob_id" not in fields:
+        trace_id, ob_id = current_trace()
+        fields.setdefault("trace_id", trace_id)
+        fields.setdefault("ob_id", ob_id)
+    col.event(level, msg, **fields)
 
 
 class _Tracing:

@@ -20,9 +20,17 @@ import os
 
 from .collector import Collector
 
+# The Prometheus exposition pair lives in ``.prom``; re-exported here
+# because this module is the stack's exporter façade (the CI scrape
+# gate imports the parser from ``repro.obs.export``).
+from .prom import parse_prometheus, render_prometheus
+
 __all__ = [
     "chrome_trace",
     "jsonl_lines",
+    "merge_chrome_traces",
+    "parse_prometheus",
+    "render_prometheus",
     "validate_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
@@ -70,6 +78,43 @@ def chrome_trace(source) -> dict:
         "otherData": {
             "counters": dict(sorted(snap.get("counters", {}).items())),
             "dropped_spans": snap.get("dropped_spans", 0),
+        },
+    }
+
+
+def merge_chrome_traces(docs: list[dict]) -> dict:
+    """Merge per-daemon Chrome traces into one fleet-wide timeline.
+
+    Each input document (a ``chrome_trace`` export or a raw collector
+    snapshot) becomes its own ``pid`` (1-based input order) so a viewer
+    renders one process group per daemon, with the original worker
+    tracks preserved as ``tid`` rows inside it.  Counters are summed
+    across inputs; ``ts`` values are kept relative to each input's own
+    t=0 (the exports were already normalized per process).
+    """
+    events: list = []
+    counters: dict = {}
+    dropped = 0
+    for pid, doc in enumerate(docs, 1):
+        if "traceEvents" not in doc:
+            doc = chrome_trace(doc)
+        for event in doc.get("traceEvents", []):
+            merged = dict(event)
+            merged["pid"] = pid
+            events.append(merged)
+        other = doc.get("otherData", {})
+        for key, value in other.get("counters", {}).items():
+            if isinstance(value, (int, float)):
+                counters[key] = counters.get(key, 0) + value
+        dropped += other.get("dropped_spans", 0) or 0
+    events.sort(key=lambda e: (e["ts"], -e.get("dur", 0)))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "counters": dict(sorted(counters.items())),
+            "dropped_spans": dropped,
+            "merged_from": len(docs),
         },
     }
 

@@ -1,0 +1,180 @@
+"""Prometheus text exposition (format 0.0.4) — render and parse.
+
+The daemon's ``GET /metrics`` content-negotiates this format alongside
+its JSON document; ``python -m repro.obs.top`` and the CI serve-load
+gate consume it.  Both directions live here and are stdlib-only:
+
+  * :func:`render_prometheus` turns counters / gauges / histograms
+    into the text format (``# TYPE`` lines, ``_bucket``/``_sum``/
+    ``_count`` series with cumulative ``le`` labels);
+  * :func:`parse_prometheus` reads that text back into the same shape,
+    so tests can assert a lossless round trip and tooling does not
+    need a Prometheus client library.
+
+Metric names are namespaced ``repro_`` and sanitized from the dotted
+internal names (``obligation.wall_seconds`` →
+``repro_obligation_wall_seconds``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = [
+    "CONTENT_TYPE",
+    "metric_name",
+    "parse_prometheus",
+    "render_prometheus",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+# One sample line: name{labels} value  (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def metric_name(name: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted internal name into a Prometheus metric name."""
+    clean = _NAME_RE.sub("_", name)
+    if prefix and not clean.startswith(prefix + "_"):
+        clean = f"{prefix}_{clean}"
+    return clean
+
+
+def _fmt(value: float) -> str:
+    """Shortest exact-enough float rendering (and +Inf spelling)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    counters: dict | None = None,
+    gauges: dict | None = None,
+    histograms: dict | None = None,
+    prefix: str = "repro",
+) -> str:
+    """Render the three metric families as Prometheus 0.0.4 text.
+
+    ``histograms`` maps internal names to either
+    :class:`~repro.obs.collector.Histogram` objects or their
+    ``to_json()`` dicts (``bounds``/``buckets``/``count``/``sum``).
+    Output is sorted by metric name so successive scrapes diff cleanly.
+    """
+    lines: list[str] = []
+    for name in sorted(counters or {}):
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(counters[name])}")
+    for name in sorted(gauges or {}):
+        value = gauges[name]
+        if value is None:
+            continue
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name in sorted(histograms or {}):
+        hist = histograms[name]
+        doc = hist if isinstance(hist, dict) else hist.to_json()
+        metric = metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cum = 0
+        for bound, n in zip(doc["bounds"], doc["buckets"]):
+            cum += n
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} {cum}')
+        cum += doc["buckets"][len(doc["bounds"])]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cum}')
+        lines.append(f"{metric}_sum {_fmt(doc['sum'])}")
+        lines.append(f"{metric}_count {doc['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus 0.0.4 text into ``{counters, gauges, histograms}``.
+
+    Histograms come back as ``{name: {"bounds": [...], "buckets": [...],
+    "count": n, "sum": s}}`` — per-bucket (non-cumulative) counts in
+    bound order with the +Inf overflow last, i.e. the same shape
+    :meth:`Histogram.to_json` produces (minus min/max, which the text
+    format cannot carry).  Raises ``ValueError`` on malformed lines, so
+    the CI scrape gate fails loudly on invalid exposition output.
+    """
+    types: dict[str, str] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    raw_hist: dict[str, dict] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        value = _parse_value(match.group("value"))
+        labels = dict(_LABEL_RE.findall(match.group("labels") or ""))
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and types.get(name[: -len(suffix)]) == "histogram":
+                base = name[: -len(suffix)]
+                break
+        kind = types.get(base)
+        if kind == "histogram":
+            hist = raw_hist.setdefault(base, {"cum": [], "sum": 0.0, "count": 0})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    raise ValueError(f"line {lineno}: histogram bucket without le label")
+                hist["cum"].append((_parse_value(labels["le"]), value))
+            elif name.endswith("_sum"):
+                hist["sum"] = value
+            elif name.endswith("_count"):
+                hist["count"] = int(value)
+        elif kind == "gauge":
+            gauges[name] = value
+        else:
+            # counter, or untyped (treated as a counter).
+            counters[name] = value
+    histograms: dict[str, dict] = {}
+    for name, hist in raw_hist.items():
+        cum = sorted(hist["cum"], key=lambda pair: pair[0])
+        if not cum or cum[-1][0] != math.inf:
+            raise ValueError(f"histogram {name}: missing +Inf bucket")
+        bounds: list[float] = []
+        buckets: list[int] = []
+        prev = 0.0
+        for bound, total in cum:
+            buckets.append(int(total - prev))
+            prev = total
+            if bound != math.inf:
+                bounds.append(bound)
+        histograms[name] = {
+            "bounds": bounds,
+            "buckets": buckets,
+            "count": hist["count"],
+            "sum": hist["sum"],
+        }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -49,6 +49,9 @@ def summarize(collector, profiler=None) -> dict:
         "dropped_spans": collector.dropped_spans,
         "obligations": obligations,
         "regions": region_rows,
+        "histograms": {
+            name: hist.summary() for name, hist in sorted(collector.histograms.items())
+        },
     }
 
 
@@ -117,6 +120,24 @@ def render_report(doc: dict, top: int = 15) -> str:
     else:
         lines.append("  (none recorded)")
 
+    histograms = obs.get("histograms") or {}
+    if histograms:
+        lines.append(f"\n== latency histograms ({len(histograms)}) ==")
+        lines.append(
+            f"{'histogram':<36} {'count':>7} {'p50(ms)':>9} {'p90(ms)':>9} "
+            f"{'p99(ms)':>9} {'max(ms)':>9}"
+        )
+        for name, summary in sorted(histograms.items()):
+            if not isinstance(summary, dict):
+                continue
+            lines.append(
+                f"{name[:36]:<36} {summary.get('count', 0):>7} "
+                f"{summary.get('p50', 0.0) * 1e3:>9.2f} "
+                f"{summary.get('p90', 0.0) * 1e3:>9.2f} "
+                f"{summary.get('p99', 0.0) * 1e3:>9.2f} "
+                f"{(summary.get('max') or 0.0) * 1e3:>9.2f}"
+            )
+
     counters = obs.get("counters") or {}
     lines.append(f"\n== counters ({len(counters)}) ==")
     for name, value in sorted(counters.items()):
@@ -160,18 +181,80 @@ def _cert_summary(doc: dict, counters: dict) -> str | None:
     return "certificates: " + ", ".join(parts) + " (audit: python -m repro.smt.checkproof --store)"
 
 
+def _report_json(doc: dict, top: int) -> dict:
+    """The ranked-bottleneck report as a machine-readable document
+    (the ``--json`` twin of :func:`render_report`)."""
+    obs = _extract_obs(doc)
+    obligations = obs.get("obligations") or []
+    regions = obs.get("regions") or []
+    out = {
+        "obligations": obligations[:top],
+        "regions": regions[:top],
+        "counters": dict(sorted((obs.get("counters") or {}).items())),
+        "histograms": obs.get("histograms") or {},
+        "dropped_spans": obs.get("dropped_spans", 0),
+    }
+    if isinstance(doc.get("wall_s"), (int, float)):
+        out["wall_s"] = doc["wall_s"]
+    return out
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("artifact", help="BENCH_fig11.json / BENCH_runner.json / obs summary JSON")
+    parser.add_argument(
+        "artifacts",
+        nargs="+",
+        metavar="artifact",
+        help="BENCH_fig11.json / BENCH_runner.json / obs summary / Chrome trace JSON",
+    )
     parser.add_argument("--top", type=int, default=15, help="rows per ranking table")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the ranked report as JSON instead of text"
+    )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="reassemble the artifacts (Chrome traces or obs snapshots) "
+        "into one fleet-wide Chrome trace, one pid per input",
+    )
+    parser.add_argument(
+        "--out",
+        default="trace_merged.json",
+        help="output path for --merge (default: trace_merged.json)",
+    )
     args = parser.parse_args(argv)
 
-    try:
-        with open(args.artifact) as handle:
-            doc = json.load(handle)
-    except (OSError, ValueError) as exc:
-        print(f"cannot read {args.artifact}: {exc}", file=sys.stderr)
+    docs = []
+    for artifact in args.artifacts:
+        try:
+            with open(artifact) as handle:
+                docs.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {artifact}: {exc}", file=sys.stderr)
+            return 2
+
+    if args.merge:
+        from .export import _ensure_parent, merge_chrome_traces, validate_chrome_trace
+
+        merged = merge_chrome_traces(docs)
+        problems = validate_chrome_trace(merged)
+        if problems:
+            for problem in problems:
+                print(f"merge: {problem}", file=sys.stderr)
+            return 4
+        _ensure_parent(args.out)
+        with open(args.out, "w") as handle:
+            json.dump(merged, handle)
+        print(
+            f"merged {len(docs)} trace(s), {len(merged['traceEvents'])} events "
+            f"-> {args.out}"
+        )
+        return 0
+
+    if len(docs) > 1:
+        print("multiple artifacts need --merge", file=sys.stderr)
         return 2
+    doc = docs[0]
 
     obs = _extract_obs(doc)
     has_content = isinstance(obs.get("counters"), dict) and obs["counters"]
@@ -179,14 +262,18 @@ def main(argv=None) -> int:
     has_content = has_content or isinstance(obs.get("regions"), list) and obs["regions"]
     if not has_content:
         print(
-            f"{args.artifact}: no obs section to report on — re-run the "
+            f"{args.artifacts[0]}: no obs section to report on — re-run the "
             "benchmark with tracing enabled (e.g. bench_fig11_verify.py "
             "--trace) to collect counters, spans, and regions.",
             file=sys.stderr,
         )
         return 3
 
-    print(render_report(doc, top=args.top))
+    if args.json:
+        json.dump(_report_json(doc, args.top), sys.stdout, indent=2)
+        print()
+    else:
+        print(render_report(doc, top=args.top))
     return 0
 
 

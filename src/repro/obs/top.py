@@ -1,0 +1,287 @@
+"""Live fleet dashboard: ``python -m repro.obs.top URL [URL ...]``.
+
+Polls one or more daemon ``/metrics`` endpoints (JSON flavour — the
+Prometheus text flavour is for real scrapers) plus ``/healthz`` and
+``/jobs``, and renders a refreshing terminal view: obligations/sec,
+wall-time p50/p99, solver-cache hit rate, worker utilization, remote
+store health, and per-job progress bars.
+
+Two modes:
+
+* interactive (default) — redraws every ``--interval`` seconds using
+  ANSI clear; rates are computed from deltas between polls.
+* ``--once`` — one sample, one render, exit 0.  With ``--json`` the
+  render is a machine-readable document (the CI serve-load gate runs
+  ``--once --json`` and asserts ob/s > 0 and p50 <= p99).
+
+Store endpoints (``/store/metrics``) are also accepted; they expose a
+flat counters/gauges document and render as a health line only.
+
+Everything is stdlib; a dead endpoint renders as ``DOWN`` rather than
+killing the loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+__all__ = ["main", "sample_endpoint", "build_doc"]
+
+DEFAULT_URL = "http://127.0.0.1:8631"
+OB_HIST = "obligation.wall_seconds"
+
+
+# ---------------------------------------------------------------------------
+# sampling
+
+
+def _get_json(url: str, timeout_s: float) -> dict | list:
+    request = urllib.request.Request(url, headers={"Accept": "application/json"})
+    with urllib.request.urlopen(request, timeout=timeout_s) as reply:
+        return json.loads(reply.read())
+
+
+def sample_endpoint(base_url: str, timeout_s: float = 5.0) -> dict:
+    """One poll of one endpoint.  Never raises: failures come back as
+    ``{"url": ..., "ok": False, "error": ...}``."""
+    base = base_url.rstrip("/")
+    if "://" not in base:
+        base = f"http://{base}"
+    out: dict = {"url": base, "t": time.monotonic(), "ok": True}
+    try:
+        if base.endswith("/store"):
+            out["kind"] = "store"
+            out["metrics"] = _get_json(f"{base}/metrics", timeout_s)
+            return out
+        out["kind"] = "serve"
+        out["metrics"] = _get_json(f"{base}/metrics", timeout_s)
+        out["healthz"] = _get_json(f"{base}/healthz", timeout_s)
+        try:
+            out["jobs"] = _get_json(f"{base}/jobs", timeout_s).get("jobs", [])
+        except (OSError, ValueError):
+            out["jobs"] = []
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        return {"url": base, "t": time.monotonic(), "ok": False, "error": str(exc)}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# derived stats
+
+
+def _hist(metrics: dict, name: str) -> dict:
+    return ((metrics.get("obs") or {}).get("histograms") or {}).get(name) or {}
+
+
+def _counter(metrics: dict, name: str) -> float:
+    return ((metrics.get("obs") or {}).get("counters") or {}).get(name, 0)
+
+
+def _rates(now: dict, prev: dict | None) -> dict:
+    """ob/s and cache-hit/s from two samples; falls back to lifetime
+    averages (count / uptime) when there is no previous sample."""
+    metrics = now.get("metrics") or {}
+    hist = _hist(metrics, OB_HIST)
+    count = hist.get("count", 0)
+    uptime = metrics.get("uptime_s") or (now.get("healthz") or {}).get("uptime_s") or 0
+    if prev is not None and prev.get("ok"):
+        dt = max(1e-9, now["t"] - prev["t"])
+        prev_count = _hist(prev.get("metrics") or {}, OB_HIST).get("count", 0)
+        ob_per_s = max(0.0, count - prev_count) / dt
+    else:
+        ob_per_s = count / uptime if uptime > 0 else 0.0
+    hits = _counter(metrics, "solver.cache.hits")
+    misses = _counter(metrics, "solver.cache.misses")
+    lookups = hits + misses
+    # Busy-fraction of the pool over the process lifetime: total
+    # obligation wall time spread across pool_workers * uptime.
+    workers = ((metrics.get("scheduler") or {}) or {}).get("pool_workers", 0)
+    busy = hist.get("sum", 0.0)
+    utilization = busy / (workers * uptime) if workers and uptime > 0 else 0.0
+    return {
+        "ob_per_s": ob_per_s,
+        "obligations": count,
+        "p50_ms": (hist.get("p50") or 0.0) * 1e3,
+        "p90_ms": (hist.get("p90") or 0.0) * 1e3,
+        "p99_ms": (hist.get("p99") or 0.0) * 1e3,
+        "cache_hit_rate": hits / lookups if lookups else None,
+        "worker_utilization": min(1.0, utilization),
+    }
+
+
+def build_doc(samples: list[dict], prev: dict[str, dict] | None = None) -> dict:
+    """The machine-readable dashboard document (``--json`` output)."""
+    endpoints = []
+    for sample in samples:
+        entry: dict = {"url": sample["url"], "ok": sample.get("ok", False)}
+        if not entry["ok"]:
+            entry["error"] = sample.get("error", "unreachable")
+            endpoints.append(entry)
+            continue
+        if sample.get("kind") == "store":
+            entry["kind"] = "store"
+            entry["store"] = sample.get("metrics")
+            endpoints.append(entry)
+            continue
+        metrics = sample.get("metrics") or {}
+        healthz = sample.get("healthz") or {}
+        scheduler = metrics.get("scheduler") or {}
+        store = metrics.get("store") or {}
+        obs = metrics.get("obs") or {}
+        entry.update(
+            {
+                "kind": "serve",
+                "version": healthz.get("version"),
+                "uptime_s": metrics.get("uptime_s", healthz.get("uptime_s", 0.0)),
+                "jobs": metrics.get("jobs") or {},
+                "pool_workers": scheduler.get("pool_workers", 0),
+                "queued": scheduler.get("queued", 0),
+                "inflight": scheduler.get("inflight", 0),
+                "remote": {
+                    "breaker_open": bool(store.get("remote_breaker_open")),
+                    "spool_pending": store.get("spool_pending", 0),
+                    "hits": _counter(metrics, "store.remote.hits"),
+                    "misses": _counter(metrics, "store.remote.misses"),
+                    "errors": _counter(metrics, "store.remote.errors"),
+                },
+                "events": obs.get("events", 0),
+                "histograms": obs.get("histograms") or {},
+                **_rates(sample, (prev or {}).get(sample["url"])),
+            }
+        )
+        entry["active_jobs"] = [
+            {
+                "id": j.get("id"),
+                "state": j.get("state"),
+                "trace_id": j.get("trace_id"),
+                "done": (j.get("progress") or {}).get("done", 0),
+                "total": (j.get("progress") or {}).get("total"),
+            }
+            for j in sample.get("jobs", [])
+            if j.get("state") in ("queued", "running")
+        ]
+        endpoints.append(entry)
+    return {"endpoints": endpoints}
+
+
+# ---------------------------------------------------------------------------
+# rendering
+
+
+def _bar(done: int, total: int | None, width: int = 24) -> str:
+    if not total:
+        return "[" + "?" * width + "]"
+    filled = min(width, int(width * done / total))
+    return "[" + "#" * filled + "." * (width - filled) + f"] {done}/{total}"
+
+
+def _pct(value: float | None) -> str:
+    return "--" if value is None else f"{100.0 * value:5.1f}%"
+
+
+def render(doc: dict) -> str:
+    lines: list[str] = []
+    for entry in doc["endpoints"]:
+        if not entry.get("ok"):
+            lines.append(f"{entry['url']}  DOWN  ({entry.get('error', '?')})")
+            lines.append("")
+            continue
+        if entry.get("kind") == "store":
+            gauges = (entry.get("store") or {}).get("gauges", {})
+            lines.append(
+                f"{entry['url']}  store  entries={gauges.get('store.entries', '?')}"
+                f"  spool={gauges.get('store.spool_pending', '?')}"
+                f"  up={gauges.get('store.uptime_seconds', 0):.0f}s"
+            )
+            lines.append("")
+            continue
+        remote = entry["remote"]
+        breaker = "OPEN" if remote["breaker_open"] else "closed"
+        lines.append(
+            f"{entry['url']}  repro {entry.get('version') or '?'}"
+            f"  up {entry['uptime_s']:.0f}s"
+            f"  workers {entry['pool_workers']}"
+            f"  util {_pct(entry['worker_utilization'])}"
+        )
+        lines.append(
+            f"  ob/s {entry['ob_per_s']:8.2f}   obligations {entry['obligations']:>7}"
+            f"   queued {entry['queued']:>4}   inflight {entry['inflight']:>4}"
+        )
+        lines.append(
+            f"  wall p50 {entry['p50_ms']:8.2f}ms  p90 {entry['p90_ms']:8.2f}ms"
+            f"  p99 {entry['p99_ms']:8.2f}ms   cache hit {_pct(entry['cache_hit_rate'])}"
+        )
+        lines.append(
+            f"  remote: breaker {breaker}  spool {remote['spool_pending']}"
+            f"  hits {remote['hits']}  misses {remote['misses']}  errors {remote['errors']}"
+        )
+        for name, hist in sorted(entry.get("histograms", {}).items()):
+            if name == OB_HIST or not hist.get("count"):
+                continue
+            lines.append(
+                f"    {name:<32} n={hist['count']:<7}"
+                f" p50={1e3 * (hist.get('p50') or 0):.2f}ms"
+                f" p99={1e3 * (hist.get('p99') or 0):.2f}ms"
+            )
+        jobs = entry.get("active_jobs", [])
+        if jobs:
+            lines.append("  jobs:")
+            for job in jobs:
+                lines.append(
+                    f"    {job['id']}  {job['state']:<8}"
+                    f" {_bar(job['done'], job['total'])}  trace={job['trace_id'] or '-'}"
+                )
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top",
+        description="live dashboard over repro.serve /metrics endpoints",
+    )
+    parser.add_argument(
+        "urls", nargs="*", default=[DEFAULT_URL],
+        help=f"daemon base URLs (default {DEFAULT_URL})",
+    )
+    parser.add_argument("--interval", type=float, default=2.0, help="poll period, seconds")
+    parser.add_argument("--timeout", type=float, default=5.0, help="per-request timeout")
+    parser.add_argument("--once", action="store_true", help="sample once and exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the machine-readable document instead of the table")
+    args = parser.parse_args(argv)
+    urls = args.urls or [DEFAULT_URL]
+
+    prev: dict[str, dict] = {}
+    try:
+        while True:
+            samples = [sample_endpoint(url, args.timeout) for url in urls]
+            doc = build_doc(samples, prev)
+            if args.as_json:
+                text = json.dumps(doc, indent=2, sort_keys=True)
+            else:
+                stamp = time.strftime("%H:%M:%S")
+                text = f"repro.obs.top  {stamp}  ({len(urls)} endpoint(s))\n\n" + render(doc)
+            if args.once:
+                print(text)
+                return 0 if all(e.get("ok") for e in doc["endpoints"]) else 1
+            # Interactive refresh: clear screen, home cursor, redraw.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            prev = {s["url"]: s for s in samples if s.get("ok")}
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

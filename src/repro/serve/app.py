@@ -25,8 +25,12 @@ Endpoints (all JSON)::
                                 for records without a query digest)
     POST /jobs/<id>/cancel      cancel (queued obligations dropped,
                                 in-flight ones finish)
-    GET  /healthz               liveness + pool/job counts
-    GET  /metrics               obs counters, scheduler/store telemetry
+    GET  /healthz               liveness + version + pool/job counts
+    GET  /metrics               obs counters/histograms + scheduler/store
+                                telemetry; ``Accept: text/plain`` gets
+                                Prometheus 0.0.4 exposition instead
+    GET  /events                structured event ring; ?since=N pages,
+                                ?level=warn filters by severity
     *    /store/...              the distributed-store object protocol
                                 (``repro.core.remote.StoreAPI``), so one
                                 daemon can serve verdicts to a fleet
@@ -46,10 +50,11 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from ..core.remote import StoreAPI
+from ..core.remote import StoreAPI, breaker_open
 from ..core.runner import Obligation
 from ..core.scheduler import get_scheduler, peek_scheduler
 from ..core.store import DEFAULT_STORE_DIR, VerdictStore
+from ..obs.events import TRACE_HEADER, new_trace_id, parse_trace_header, trace_context
 from .grids import GRIDS, run_grid
 from .jobs import CANCELLED, DONE, FAILED, RUNNING, JobRegistry
 
@@ -156,16 +161,22 @@ class VerificationServer:
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, doc: dict):
+    def submit(self, doc: dict, trace_id: str | None = None):
         """Validate a ``POST /jobs`` body, register the job, and start
-        its runner thread.  Raises :class:`ApiError` on a bad body."""
+        its runner thread.  Raises :class:`ApiError` on a bad body.
+
+        ``trace_id`` is the client's correlation id (``X-Repro-Trace``);
+        jobs submitted without one get a fresh daemon-generated id, so
+        every job is traceable either way.
+        """
         if not isinstance(doc, dict):
             raise ApiError(400, "request body must be a JSON object")
+        trace_id = trace_id or new_trace_id()
         kind = doc.get("kind")
         if kind == "grid":
-            job = self._submit_grid(doc)
+            job = self._submit_grid(doc, trace_id)
         elif kind == "obligations":
-            job = self._submit_obligations(doc)
+            job = self._submit_obligations(doc, trace_id)
         else:
             raise ApiError(400, f"kind must be 'grid' or 'obligations', got {kind!r}")
         threading.Thread(
@@ -192,7 +203,7 @@ class VerificationServer:
             raise ApiError(400, "timeout_s must be a positive number")
         return max_conflicts, timeout_s
 
-    def _submit_grid(self, doc: dict):
+    def _submit_grid(self, doc: dict, trace_id: str | None = None):
         grid = doc.get("grid", "fig11-quick")
         if grid not in GRIDS:
             raise ApiError(400, f"unknown grid {grid!r}; one of {sorted(GRIDS)}")
@@ -207,11 +218,11 @@ class VerificationServer:
             "max_conflicts": max_conflicts,
             "timeout_s": timeout_s,
         }
-        job = self.registry.create("grid", params)
+        job = self.registry.create("grid", params, trace_id=trace_id)
         job.total = len(GRIDS[grid])
         return job
 
-    def _submit_obligations(self, doc: dict):
+    def _submit_obligations(self, doc: dict, trace_id: str | None = None):
         raw = doc.get("obligations")
         if not isinstance(raw, list) or not raw:
             raise ApiError(400, "obligations must be a non-empty list")
@@ -227,7 +238,7 @@ class VerificationServer:
             "timeout_s": timeout_s,
             "cache": bool(doc.get("cache", True)),
         }
-        job = self.registry.create("obligations", params)
+        job = self.registry.create("obligations", params, trace_id=trace_id)
         job.total = len(obligations)
         # Runtime-only: parsed payloads ride on the job object, never
         # through the spool.
@@ -237,7 +248,7 @@ class VerificationServer:
     # -- execution -------------------------------------------------------
 
     def _run_job(self, job) -> None:
-        from ..obs import count
+        from ..obs import count, event
 
         with job.cond:
             job.state = RUNNING
@@ -245,17 +256,30 @@ class VerificationServer:
         self.registry.persist(job)
         count("serve.jobs.started")
         start = time.perf_counter()
-        try:
-            if job.kind == "grid":
-                self._run_grid_job(job)
-            else:
-                self._run_obligations_job(job)
-        except Exception as exc:  # noqa: BLE001 - job isolation boundary
-            job.finish(FAILED, error=f"{type(exc).__name__}: {exc}")
-        finally:
-            job.stats["wall_s"] = time.perf_counter() - start
-            self.registry.persist(job)
-            count(f"serve.jobs.{job.state}")
+        # The whole job thread runs under the job's trace_id, so every
+        # span it records, every obligation it submits, and every store
+        # request it triggers is correlated back to this submission.
+        with trace_context(job.trace_id):
+            event("info", "job.started", job=job.id, kind=job.kind)
+            try:
+                if job.kind == "grid":
+                    self._run_grid_job(job)
+                else:
+                    self._run_obligations_job(job)
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                job.finish(FAILED, error=f"{type(exc).__name__}: {exc}")
+                event("error", "job.failed", job=job.id, error=f"{type(exc).__name__}: {exc}")
+            finally:
+                job.stats["wall_s"] = time.perf_counter() - start
+                self.registry.persist(job)
+                count(f"serve.jobs.{job.state}")
+                event(
+                    "info",
+                    "job.finished",
+                    job=job.id,
+                    state=job.state,
+                    wall_s=job.stats["wall_s"],
+                )
 
     def _run_grid_job(self, job) -> None:
         params = job.params
@@ -305,9 +329,17 @@ class VerificationServer:
             timeout_s=params.get("timeout_s"),
             job=job.id,
             on_result=on_result,
+            trace=self._collector is not None,
+            trace_id=job.trace_id,
         )
         job.ticket = ticket
         results = ticket.wait()
+        if ticket.trace:
+            # Fold the workers' span envelopes into the daemon's
+            # process-lifetime collector: this is what puts a worker's
+            # sat.solve span (stamped with the job's trace_id) into the
+            # daemon's /metrics and exported traces.
+            scheduler._collect_trace(ticket)
         progress = ticket.progress()
         job.stats.update(
             obligations=len(results),
@@ -335,9 +367,13 @@ class VerificationServer:
     # -- monitoring ------------------------------------------------------
 
     def healthz(self) -> dict:
+        from .. import __version__
+
         scheduler = peek_scheduler()
         return {
             "ok": True,
+            "version": __version__,
+            "started_at": self.started_t,
             "uptime_s": time.time() - self.started_t,
             "jobs": self.registry.counts(),
             "pool_workers": scheduler.pool_size if scheduler else 0,
@@ -354,6 +390,7 @@ class VerificationServer:
                 "path": self.store.path,
                 "entries": len(self.store.digests()),
                 "spool_pending": len(self.store.spool_pending()),
+                "remote_breaker_open": breaker_open(),
                 **self.store_api.counters(),
             },
         }
@@ -363,8 +400,59 @@ class VerificationServer:
                 "counters": snap["counters"],
                 "spans": len(snap["spans"]),
                 "dropped_spans": snap["dropped_spans"],
+                "histograms": self._collector.histogram_summaries(),
+                "events": self._collector.event_seq,
             }
         return doc
+
+    def _gauges(self) -> dict:
+        """Point-in-time gauge set shared by both /metrics renderings."""
+        scheduler = peek_scheduler()
+        telemetry = scheduler.telemetry() if scheduler else {}
+        gauges = {
+            "serve.uptime_seconds": time.time() - self.started_t,
+            "scheduler.pool_workers": telemetry.get("pool_workers", 0),
+            "scheduler.queued": telemetry.get("queued", 0),
+            "scheduler.inflight": telemetry.get("inflight", 0),
+            "scheduler.max_queue_depth": telemetry.get("max_queue_depth", 0),
+            "store.entries": len(self.store.digests()),
+            "store.spool_pending": len(self.store.spool_pending()),
+            "store.remote.breaker_open": int(breaker_open()),
+        }
+        for state, n in self.registry.counts().items():
+            gauges[f"serve.jobs.{state}"] = n
+        return gauges
+
+    def prometheus_metrics(self) -> str:
+        """``GET /metrics`` with ``Accept: text/plain`` — the Prometheus
+        0.0.4 exposition of everything the JSON document reports:
+        collector counters, latency histograms with their buckets, and
+        the gauges (queue depth, pool size, breaker state, backlog,
+        uptime)."""
+        from ..obs.prom import render_prometheus
+
+        counters: dict = {}
+        histograms: dict = {}
+        if self._collector is not None:
+            snap = self._collector.snapshot()
+            counters.update(snap["counters"])
+            histograms = snap["histograms"]
+        for name, value in self.store_api.counters().items():
+            counters[f"store.{name}"] = value
+        scheduler = peek_scheduler()
+        if scheduler is not None:
+            telemetry = scheduler.telemetry()
+            for key in ("steals", "retries", "timeouts", "worker_restarts"):
+                counters[f"scheduler.{key}"] = telemetry.get(key, 0)
+        return render_prometheus(
+            counters=counters, gauges=self._gauges(), histograms=histograms
+        )
+
+    def events(self, since: int = 0, level: str | None = None) -> list[dict]:
+        """The daemon's structured event ring (``GET /events``)."""
+        if self._collector is None:
+            return []
+        return self._collector.events_since(since, level=level)
 
 
 # ---------------------------------------------------------------------------
@@ -426,7 +514,11 @@ class _Handler(BaseHTTPRequestHandler):
         if length > 0:
             body = self.rfile.read(length)
         status, payload, ctype, headers = self.app.store_api.handle(
-            method, path, body
+            method,
+            path,
+            body,
+            accept=self.headers.get("Accept", ""),
+            trace=self.headers.get(TRACE_HEADER),
         )
         self._send_raw(status, payload, ctype, headers, send_body=(method != "HEAD"))
 
@@ -466,17 +558,27 @@ class _Handler(BaseHTTPRequestHandler):
             if method == "GET" and path == "/healthz":
                 self._send_json(200, self.app.healthz())
             elif method == "GET" and path == "/metrics":
-                self._send_json(200, self.app.metrics())
+                if "text/plain" in (self.headers.get("Accept") or ""):
+                    from ..obs.prom import CONTENT_TYPE
+
+                    self._send_raw(
+                        200, self.app.prometheus_metrics().encode(), CONTENT_TYPE, {}
+                    )
+                else:
+                    self._send_json(200, self.app.metrics())
+            elif method == "GET" and path == "/events":
+                self._get_events()
             elif method == "GET" and path == "/jobs":
                 self._send_json(
                     200, {"jobs": [job.snapshot() for job in self.app.registry.jobs()]}
                 )
             elif method == "POST" and path == "/jobs":
-                job = self.app.submit(self._read_body())
+                trace_id, _ = parse_trace_header(self.headers.get(TRACE_HEADER))
+                job = self.app.submit(self._read_body(), trace_id=trace_id)
                 self._send_json(
                     201,
                     {"id": job.id, "state": job.state, "kind": job.kind,
-                     "location": f"/jobs/{job.id}"},
+                     "trace_id": job.trace_id, "location": f"/jobs/{job.id}"},
                 )
             elif match and method == "GET" and match.group(2) is None:
                 job = self._job_or_404(match.group(1))
@@ -498,6 +600,25 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(exc.code, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - handler isolation boundary
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _get_events(self) -> None:
+        """``GET /events?since=N&level=L`` — the daemon's structured
+        event ring, paged by sequence number."""
+        query = self._query()
+        try:
+            since = int(query.get("since", 0))
+        except ValueError:
+            raise ApiError(400, "since must be an integer")
+        level = query.get("level")
+        records = self.app.events(since=since, level=level)
+        self._send_json(
+            200,
+            {
+                "since": since,
+                "next": records[-1]["seq"] if records else since,
+                "events": records,
+            },
+        )
 
     def _record_certificate(self, record) -> dict | None:
         """The stored proof certificate behind a verdict record, if the

@@ -4,6 +4,11 @@ Everything rides ``urllib.request`` — one connection per call, no
 state — so the client is trivially safe to share across threads (the
 load driver runs eight of them against one daemon).
 
+Every client carries a ``trace_id`` (generated at construction or
+passed in) and sends it as ``X-Repro-Trace`` on every request, so one
+submission can be followed through the daemon's spans, a worker's
+solve, and the remote store's request log (``docs/OBSERVABILITY.md``).
+
 Usage::
 
     from repro.serve import ServeClient
@@ -23,6 +28,7 @@ import urllib.error
 import urllib.request
 
 from ..core.runner import Obligation
+from ..obs.events import TRACE_HEADER, new_trace_id
 
 __all__ = ["ServeClient", "ServeError"]
 
@@ -36,23 +42,32 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    def __init__(self, base_url: str, timeout_s: float = 60.0):
+    def __init__(self, base_url: str, timeout_s: float = 60.0, trace_id: str | None = None):
         self.base_url = base_url.rstrip("/")
         self.timeout_s = timeout_s
+        self.trace_id = trace_id or new_trace_id()
 
     # -- plumbing --------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _request(
+        self, method: str, path: str, body: dict | None = None, accept: str | None = None
+    ) -> dict | str:
         data = json.dumps(body).encode() if body is not None else None
+        headers = {TRACE_HEADER: self.trace_id}
+        if data:
+            headers["Content-Type"] = "application/json"
+        if accept:
+            headers["Accept"] = accept
         request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
+            f"{self.base_url}{path}", data=data, method=method, headers=headers
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout_s) as reply:
-                return json.loads(reply.read())
+                raw = reply.read()
+                ctype = reply.headers.get("Content-Type", "")
+                if accept and "text/plain" in ctype:
+                    return raw.decode()
+                return json.loads(raw)
         except urllib.error.HTTPError as exc:
             try:
                 message = json.loads(exc.read()).get("error", str(exc))
@@ -65,8 +80,21 @@ class ServeClient:
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def version(self) -> str | None:
+        """The daemon's package version (from ``/healthz``)."""
+        return self.healthz().get("version")
+
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def metrics_text(self) -> str:
+        """The Prometheus 0.0.4 exposition of ``/metrics``."""
+        return self._request("GET", "/metrics", accept="text/plain")
+
+    def events(self, since: int = 0, level: str | None = None) -> dict:
+        """The daemon's structured event ring, paged by ``since``."""
+        query = f"?since={since}" + (f"&level={level}" if level else "")
+        return self._request("GET", f"/events{query}")
 
     def jobs(self) -> list[dict]:
         return self._request("GET", "/jobs")["jobs"]

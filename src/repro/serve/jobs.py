@@ -55,10 +55,13 @@ class Job:
     and on every state change, which is what makes long-polling cheap.
     """
 
-    def __init__(self, job_id: str, kind: str, params: dict):
+    def __init__(self, job_id: str, kind: str, params: dict, trace_id: str | None = None):
         self.id = job_id
         self.kind = kind  # "grid" | "obligations"
         self.params = params
+        # Correlation id for fleet-wide observability: client-supplied
+        # via X-Repro-Trace or daemon-generated at submit.
+        self.trace_id = trace_id
         self.state = QUEUED
         self.created_t = time.time()
         self.started_t: float | None = None
@@ -99,6 +102,7 @@ class Job:
                 "id": self.id,
                 "kind": self.kind,
                 "state": self.state,
+                "trace_id": self.trace_id,
                 "params": self.params,
                 "created_t": self.created_t,
                 "started_t": self.started_t,
@@ -116,7 +120,10 @@ class Job:
 
     @classmethod
     def from_snapshot(cls, doc: dict) -> "Job":
-        job = cls(doc["id"], doc.get("kind", "?"), doc.get("params", {}))
+        job = cls(
+            doc["id"], doc.get("kind", "?"), doc.get("params", {}),
+            trace_id=doc.get("trace_id"),
+        )
         job.state = doc.get("state", QUEUED)
         job.created_t = doc.get("created_t", 0.0)
         job.started_t = doc.get("started_t")
@@ -162,10 +169,10 @@ class JobRegistry:
 
     # -- CRUD ------------------------------------------------------------
 
-    def create(self, kind: str, params: dict) -> Job:
+    def create(self, kind: str, params: dict, trace_id: str | None = None) -> Job:
         with self._lock:
             job_id = f"j{next(self._serial):04d}-{secrets.token_hex(4)}"
-            job = Job(job_id, kind, params)
+            job = Job(job_id, kind, params, trace_id=trace_id)
             self._jobs[job_id] = job
         self.persist(job)
         return job

@@ -52,7 +52,12 @@ import os
 import tempfile
 import time
 
-from ..obs import count as obs_count, enabled as _obs_enabled, span as obs_span
+from ..obs import (
+    count as obs_count,
+    enabled as _obs_enabled,
+    observe as obs_observe,
+    span as obs_span,
+)
 from .bitblast import BitBlaster
 from .model import Model
 from .proof import CertificateError, ProofLog, build_model_certificate, build_unsat_certificate
@@ -515,6 +520,8 @@ class Solver:
         with obs_span("sat.solve", cat="sat") as sargs:
             status = sat.solve(max_conflicts=self.max_conflicts, timeout_s=sat_budget_s)
         elapsed = time.perf_counter() - start
+        obs_observe("bitblast.seconds", blast_time)
+        obs_observe("sat.solve_seconds", max(0.0, elapsed - blast_time))
         sat_stats = sat.stats()
         if sargs is not None:
             sargs["status"] = status
@@ -604,6 +611,8 @@ class Solver:
                 relevant=cone,
             )
         elapsed = time.perf_counter() - start
+        obs_observe("bitblast.seconds", blast_time)
+        obs_observe("sat.solve_seconds", max(0.0, elapsed - blast_time))
         sat_stats = sat.stats()
         if sargs is not None:
             sargs["status"] = status
